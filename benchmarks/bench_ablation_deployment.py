@@ -1,0 +1,92 @@
+"""§5.3 ablation — incremental deployment.
+
+Sweeps the fraction of deploying transit ASs and measures how many
+attackers remain capturable and the extra BGP-piggyback message cost of
+bridging the gaps.
+
+Expected shape: with gaps bridged over routing announcements, capture
+coverage stays high even at partial transit deployment (attackers in
+deploying stubs are still reached); message cost grows as deployment
+shrinks.  Attackers whose own stub AS does not deploy are never
+captured — the paper's stated limit of partial deployment.
+"""
+
+import numpy as np
+
+from repro.backprop.deployment import DeploymentMap
+from repro.backprop.interas import ASAttackerSpec, InterASBackprop, InterASConfig
+from repro.experiments.runner import render_table
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.topology.aslevel import build_as_topology
+
+P, M = 0.4, 10.0
+N_ATTACKERS = 8
+
+
+def run_point(transit_fraction, seed=0):
+    rng = np.random.default_rng(seed)
+    topo = build_as_topology(20, 40, rng)
+    stubs = list(rng.choice(topo.stub_ases, size=N_ATTACKERS, replace=False))
+    attackers = [ASAttackerSpec(i, int(s), 10.0) for i, s in enumerate(stubs)]
+    # All stubs + the victim deploy; a fraction of transit ASs deploy.
+    n_deploy = max(1, int(round(transit_fraction * len(topo.transit_ases))))
+    deploying_transit = set(
+        int(a) for a in rng.choice(topo.transit_ases, size=n_deploy, replace=False)
+    )
+    deployed = deploying_transit | set(topo.stub_ases) | {topo.victim_as}
+    eng = InterASBackprop(
+        topo,
+        BernoulliSchedule(P, M, seed=seed),
+        attackers,
+        InterASConfig(tau=0.5, per_hop_delay=0.05, intra_as_capture_delay=0.5),
+        progressive=True,
+        deployment=DeploymentMap(deployed),
+    )
+    eng.run(until=4000.0)
+    return len(eng.captures), eng.messages["requests"], eng.messages["bgp_hops"]
+
+
+def run_sweep():
+    rows = []
+    for frac in (1.0, 0.75, 0.5, 0.25):
+        captured, requests, bgp = run_point(frac)
+        rows.append((frac, captured, requests, bgp))
+    # Control: non-deploying stub is never captured.
+    rng = np.random.default_rng(1)
+    topo = build_as_topology(10, 10, rng)
+    stub = topo.stub_ases[0]
+    deployed = set(topo.transit_ases) | {topo.victim_as}  # stub NOT deploying
+    eng = InterASBackprop(
+        topo,
+        BernoulliSchedule(P, M, seed=1),
+        [ASAttackerSpec(0, stub, 10.0)],
+        InterASConfig(tau=0.5, per_hop_delay=0.05),
+        progressive=True,
+        deployment=DeploymentMap(deployed),
+    )
+    eng.run(until=1000.0)
+    return rows, len(eng.captures)
+
+
+def test_ablation_incremental_deployment(benchmark, report):
+    report.name = "ablation_deployment"
+    rows, legacy_stub_captures = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    report("§5.3 ablation — partial deployment with BGP piggyback bridging")
+    report(
+        render_table(
+            ["transit deploy frac", f"captured/{N_ATTACKERS}", "requests", "bgp piggyback hops"],
+            [[f, c, r, b] for f, c, r, b in rows],
+        )
+    )
+    report(f"control: attacker in a non-deploying stub AS captured: {legacy_stub_captures}")
+    by_frac = {f: (c, r, b) for f, c, r, b in rows}
+    # Full deployment: everyone captured, zero piggyback cost.
+    assert by_frac[1.0][0] == N_ATTACKERS
+    assert by_frac[1.0][2] == 0
+    # Gaps are bridged: coverage survives partial transit deployment.
+    assert by_frac[0.5][0] == N_ATTACKERS
+    assert by_frac[0.25][0] >= N_ATTACKERS - 1
+    # Bridging costs piggyback messages once deployment is partial.
+    assert by_frac[0.25][2] > 0
+    # An attacker whose own stub doesn't deploy is out of reach.
+    assert legacy_stub_captures == 0

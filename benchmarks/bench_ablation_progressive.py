@@ -1,0 +1,148 @@
+"""§7.4 ablation — basic vs progressive, continuous vs on–off vs follower.
+
+Runs the inter-AS engine on a deep AS chain and compares measured
+capture times against the Section 7 equations.  This is the ablation
+DESIGN.md calls out: what does the progressive scheme's intermediate-AS
+list actually buy?
+
+Expected shape: for attackers deeper than one epoch's worth of
+propagation, the basic scheme never captures while the progressive
+scheme does; on–off and follower attacks raise capture time but are
+still bounded by the paper's (conservative) equations.
+"""
+
+import math
+import statistics
+
+import networkx as nx
+
+from repro.analysis.capture_time import (
+    basic_continuous,
+    progressive_continuous,
+    progressive_follower,
+    progressive_onoff,
+)
+from repro.backprop.interas import ASAttackerSpec, InterASBackprop, InterASConfig
+from repro.experiments.runner import render_table
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.topology.aslevel import ASTopology
+
+M, P, R, TAU = 10.0, 0.4, 10.0, 1.0
+HOPS = 12  # AS hops to the attacker's stub
+SEEDS = range(6)
+
+
+def chain_topo():
+    g = nx.path_graph(HOPS + 1)
+    for n in g.nodes:
+        g.nodes[n]["transit"] = 0 < n < HOPS
+    return ASTopology(
+        graph=g,
+        victim_as=0,
+        transit_ases=list(range(1, HOPS)),
+        stub_ases=[HOPS],
+    )
+
+
+def measure(progressive, t_on=None, t_off=None, follower_d=None, until=30000.0):
+    times = []
+    for seed in SEEDS:
+        topo = chain_topo()
+        atk = ASAttackerSpec(
+            1, HOPS, R, t_on=t_on, t_off=t_off, phase=1.0, follower_d=follower_d
+        )
+        eng = InterASBackprop(
+            topo,
+            BernoulliSchedule(P, M, seed=seed),
+            [atk],
+            InterASConfig(tau=TAU, per_hop_delay=0.05, intra_as_capture_delay=0.5),
+            progressive=progressive,
+        )
+        eng.run(until=until)
+        times.append(eng.captures.get(1))
+    captured = [t for t in times if t is not None]
+    mean = statistics.mean(captured) if captured else math.inf
+    return mean, len(captured)
+
+
+def run_ablation():
+    rows = []
+    rows.append(
+        ("continuous / basic", *measure(False), basic_continuous(M, P, HOPS, R, TAU))
+    )
+    rows.append(
+        (
+            "continuous / progressive",
+            *measure(True),
+            progressive_continuous(M, P, HOPS, R, TAU),
+        )
+    )
+    rows.append(
+        (
+            "on-off(3,10) / basic",
+            *measure(False, t_on=3.0, t_off=10.0),
+            math.inf,
+        )
+    )
+    rows.append(
+        (
+            "on-off(3,10) / progressive",
+            *measure(True, t_on=3.0, t_off=10.0),
+            progressive_onoff(M, P, HOPS, R, TAU, 3.0, 10.0),
+        )
+    )
+    rows.append(
+        (
+            "follower(d=4) / progressive",
+            *measure(True, follower_d=4.0),
+            progressive_follower(M, P, HOPS, R, TAU, 4.0),
+        )
+    )
+    return rows
+
+
+def test_ablation_basic_vs_progressive(benchmark, report):
+    report.name = "ablation_progressive"
+    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+    report("§7.4 ablation — measured capture time vs analysis (h=%d AS hops)" % HOPS)
+    report(
+        render_table(
+            ["scenario", "sim mean (s)", "captured/6", "analysis E[CT] (s)"],
+            [
+                [
+                    name,
+                    "inf" if math.isinf(mean) else f"{mean:.1f}",
+                    f"{n}/6",
+                    "inf" if math.isinf(pred) else f"{pred:.1f}",
+                ]
+                for name, mean, n, pred in rows
+            ],
+        )
+    )
+    by_name = {name: (mean, n, pred) for name, mean, n, pred in rows}
+    # Basic cannot capture the deep attacker (m < h(1/r + tau)).
+    assert by_name["continuous / basic"][1] == 0
+    assert by_name["on-off(3,10) / basic"][1] == 0
+    # Progressive captures in every replication.
+    assert by_name["continuous / progressive"][1] == len(list(SEEDS))
+    assert by_name["on-off(3,10) / progressive"][1] == len(list(SEEDS))
+    assert by_name["follower(d=4) / progressive"][1] == len(list(SEEDS))
+    # The equations upper-bound (within 1.6x slack for the conservative
+    # approximations) the measured means.
+    for key in (
+        "continuous / progressive",
+        "on-off(3,10) / progressive",
+        "follower(d=4) / progressive",
+    ):
+        mean, _, pred = by_name[key]
+        assert mean <= pred * 1.6
+    # On-off costs more time than continuous; follower sits in between
+    # or above continuous.
+    assert (
+        by_name["on-off(3,10) / progressive"][0]
+        > by_name["continuous / progressive"][0]
+    )
+    assert (
+        by_name["follower(d=4) / progressive"][0]
+        >= by_name["continuous / progressive"][0] * 0.8
+    )

@@ -1,0 +1,85 @@
+"""Extension — per-attacker attack rate sweep.
+
+Fig. 9 lists "attack rate per attack host" among the studied
+parameters; the corresponding figure falls outside the excerpted text,
+so this bench reconstructs the natural experiment: 25 evenly
+distributed attackers, rate swept 0.1 → 1.0 Mb/s.
+
+Expected shape: no defense degrades with total attack volume; honeypot
+back-propagation stays high at every rate (capture time only improves
+with rate, Eq. 3's 1/r term); very low rates take longer to capture
+but also do less damage.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import render_table
+from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+
+BASE = TreeScenarioParams(
+    n_leaves=100,
+    n_attackers=25,
+    placement="even",
+    duration=100.0,
+    attack_start=10.0,
+    attack_end=90.0,
+    seed=9,
+)
+
+RATES = (0.1e6, 0.25e6, 0.5e6, 1.0e6)
+DEFENSES = ("honeypot", "none")
+
+
+def run_grid():
+    grid = {}
+    for rate in RATES:
+        for defense in DEFENSES:
+            res = run_tree_scenario(replace(BASE, attacker_rate=rate, defense=defense))
+            grid[(rate, defense)] = res
+    return grid
+
+
+def test_ext_attack_rate(benchmark, report):
+    report.name = "ext_attack_rate"
+    grid = benchmark.pedantic(run_grid, iterations=1, rounds=1)
+    report("Extension — client throughput (%) vs per-attacker rate (25 attackers)")
+    rows = []
+    for rate in RATES:
+        hp = grid[(rate, "honeypot")]
+        nd = grid[(rate, "none")]
+        captured = len(hp.capture_times)
+        mean_ct = (
+            sum(hp.capture_times.values()) / captured if captured else float("nan")
+        )
+        rows.append(
+            [
+                f"{rate / 1e6:.2f} Mb/s",
+                f"{hp.legit_pct_during_attack:.1f}",
+                f"{nd.legit_pct_during_attack:.1f}",
+                f"{captured}/25",
+                f"{mean_ct:.1f}",
+            ]
+        )
+    report(
+        render_table(
+            ["rate", "honeypot %", "none %", "captured", "mean capture (s)"], rows
+        )
+    )
+    # --- Shape assertions ---------------------------------------------
+    # No defense: higher rate, more damage.
+    assert (
+        grid[(1.0e6, "none")].legit_pct_during_attack
+        < grid[(0.1e6, "none")].legit_pct_during_attack - 20
+    )
+    # Honeypot back-propagation holds at every rate and wins everywhere.
+    for rate in RATES:
+        hp = grid[(rate, "honeypot")]
+        assert hp.legit_pct_during_attack > 60
+        assert (
+            hp.legit_pct_during_attack
+            >= grid[(rate, "none")].legit_pct_during_attack
+        )
+        assert hp.false_captures == 0
+    # Every attacker is captured at the higher rates.
+    assert len(grid[(1.0e6, "honeypot")].capture_times) == 25
+    assert len(grid[(0.5e6, "honeypot")].capture_times) == 25

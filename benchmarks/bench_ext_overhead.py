@@ -1,0 +1,68 @@
+"""Extension — the scheme's message overhead (Section 5.3).
+
+"The third component is the network message overhead caused by the
+honeypot request and cancel messages exchanged over the attack tree.
+Although the number of messages is linear in the number of attackers,
+the number of attack messages suppressed by the scheme is much higher."
+
+This bench measures both sides of that trade at several botnet sizes.
+
+Expected shape: control messages grow roughly linearly with the number
+of attackers; blocked attack packets exceed control messages by orders
+of magnitude.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.runner import render_table
+from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+
+BASE = TreeScenarioParams(
+    n_leaves=100,
+    attacker_rate=0.5e6,
+    placement="even",
+    duration=100.0,
+    attack_start=10.0,
+    attack_end=90.0,
+    defense="honeypot",
+    seed=6,
+)
+
+COUNTS = (5, 10, 20, 40)
+
+
+def run_sweep():
+    rows = []
+    for n in COUNTS:
+        res = run_tree_scenario(replace(BASE, n_attackers=n))
+        msgs = res.defense_stats["requests_sent"] + res.defense_stats["cancels_sent"]
+        blocked = res.defense_stats["packets_blocked"]
+        rows.append((n, msgs, blocked, len(res.capture_times)))
+    return rows
+
+
+def test_ext_message_overhead(benchmark, report):
+    report.name = "ext_overhead"
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    report("Extension — control-message overhead vs suppressed attack packets")
+    report(
+        render_table(
+            ["# attackers", "request+cancel msgs", "attack pkts blocked", "captured"],
+            [[n, m, b, c] for n, m, b, c in rows],
+        )
+    )
+    ns = np.array([r[0] for r in rows], dtype=float)
+    msgs = np.array([r[1] for r in rows], dtype=float)
+    blocked = np.array([r[2] for r in rows], dtype=float)
+    # All attackers captured at every size.
+    assert all(c == n for n, _, _, c in rows)
+    # Message count grows roughly linearly in the number of attackers:
+    # strong positive correlation and sub-quadratic growth.
+    corr = np.corrcoef(ns, msgs)[0, 1]
+    assert corr > 0.9
+    growth = msgs[-1] / msgs[0]
+    assert growth < (ns[-1] / ns[0]) ** 1.5
+    # Suppressed attack traffic dwarfs the control overhead.
+    assert all(b > 50 * m for _, m, b, _ in rows)

@@ -1,0 +1,58 @@
+"""Fig. 11 — effect of the number of attackers.
+
+"0.5 Mb/s per attacker, evenly distributed attackers."
+
+Expected shape (Section 8.4.2): with evenly distributed attackers,
+Pushback's legitimate throughput falls as the number of attackers
+grows (more attackers end up close to the victim, and their protected
+shares grow); no defense falls with total attack load; honeypot
+back-propagation stays high because every zombie is captured within a
+few epochs regardless of the count.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import render_table
+from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+
+BASE = TreeScenarioParams(
+    n_leaves=100,
+    attacker_rate=0.5e6,
+    placement="even",
+    duration=100.0,
+    attack_start=10.0,
+    attack_end=90.0,
+    seed=5,
+)
+
+COUNTS = (5, 10, 25, 50)
+DEFENSES = ("honeypot", "pushback", "none")
+
+
+def run_grid():
+    grid = {}
+    for n in COUNTS:
+        for defense in DEFENSES:
+            res = run_tree_scenario(replace(BASE, n_attackers=n, defense=defense))
+            grid[(n, defense)] = res.legit_pct_during_attack
+    return grid
+
+
+def test_fig11_number_of_attackers(benchmark, report):
+    report.name = "fig11_num_attackers"
+    grid = benchmark.pedantic(run_grid, iterations=1, rounds=1)
+    report("Fig. 11 — client throughput (%) vs number of attackers (0.5 Mb/s each)")
+    rows = [
+        [n] + [f"{grid[(n, d)]:.1f}" for d in DEFENSES] for n in COUNTS
+    ]
+    report(render_table(["# attackers"] + list(DEFENSES), rows))
+    # --- Shape assertions ---------------------------------------------
+    # Honeypot back-propagation stays high at every attacker count.
+    for n in COUNTS:
+        assert grid[(n, "honeypot")] > 60
+        assert grid[(n, "honeypot")] > grid[(n, "pushback")]
+        assert grid[(n, "honeypot")] > grid[(n, "none")]
+    # No defense degrades monotonically-ish with attack volume.
+    assert grid[(50, "none")] < grid[(5, "none")] - 15
+    # Pushback also degrades as the number of attackers grows.
+    assert grid[(50, "pushback")] < grid[(5, "pushback")] - 10

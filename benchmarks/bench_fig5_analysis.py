@@ -1,0 +1,68 @@
+"""Fig. 5 — analytical capture time of progressive back-propagation.
+
+"We compare the performance of progressive honeypot back-propagation
+against continuous (Eq. (4)) and on–off (Eqs. (6), (7), (9) and (10))
+attacks in Fig. 5.  We plot the equations derived above against t_on
+with two values of t_off, namely 5 and 10 s.  We use the parameters
+suggested in [roaming honeypots]: m = 10 s, N = 5, k = 3 [p = 0.4],
+attack rate r = 10 packets/s, h = 10 hops."
+
+Expected shape: the on–off curves peak in the special-case region
+(Eq. 9, short bursts) and fall toward the continuous-attack floor as
+t_on grows; longer t_off shifts the curve up.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.capture_time import (
+    onoff_case,
+    progressive_continuous,
+    progressive_onoff,
+)
+
+M, P, H, R, TAU = 10.0, 0.4, 10, 10.0, 1.0
+
+
+def compute_fig5():
+    t_ons = [round(x, 1) for x in np.arange(2.4, 60.0, 0.8)]
+    series = {}
+    for t_off in (5.0, 10.0):
+        series[t_off] = [
+            (t_on, progressive_onoff(M, P, H, R, TAU, t_on, t_off))
+            for t_on in t_ons
+        ]
+    continuous = progressive_continuous(M, P, H, R, TAU)
+    return series, continuous
+
+
+def test_fig5_progressive_capture_time(benchmark, report):
+    report.name = "fig5_analysis"
+    series, continuous = benchmark.pedantic(compute_fig5, iterations=1, rounds=1)
+    report("Fig. 5 — avg capture time (s) of progressive back-propagation")
+    report(f"params: m={M}s p={P} h={H} r={R}pkt/s tau={TAU}s")
+    report(f"continuous attack: E[CT] = {continuous:.1f} s")
+    for t_off, pts in series.items():
+        rows = "  ".join(
+            f"{t_on:g}:{'inf' if math.isinf(ct) else f'{ct:.0f}'}"
+            for t_on, ct in pts[:: max(1, len(pts) // 18)]
+        )
+        report(f"on-off t_off={t_off:g}s (t_on:E[CT]): {rows}")
+    # --- Shape assertions (who wins / where the regions fall) ---------
+    for t_off, pts in series.items():
+        finite = [(t, c) for t, c in pts if not math.isinf(c)]
+        assert finite, "some region must be capturable"
+        # On-off is never captured faster than continuous.
+        assert all(c >= continuous - 1e-6 for _, c in finite)
+        # Large t_on approaches the continuous floor (within 2x).
+        tail = [c for t, c in finite if t > 50]
+        assert tail and min(tail) < continuous * 2.5
+    # Longer off-time hurts the defender (higher capture time) in the
+    # special-case region.
+    special = [t for t, _ in series[5.0] if onoff_case(M, t, 5.0) == 2]
+    if special:
+        t = special[0]
+        assert progressive_onoff(M, P, H, R, TAU, t, 10.0) >= progressive_onoff(
+            M, P, H, R, TAU, t, 5.0
+        )

@@ -1,0 +1,59 @@
+"""Fig. 7 — hop-count and node-degree distributions of the tree.
+
+The paper plots the two histograms its random tree generator is driven
+by.  We generate the default (scaled) topology and print both, checking
+they track the target distributions.
+"""
+
+import numpy as np
+
+from repro.experiments.runner import render_table
+from repro.topology.distributions import (
+    PAPER_HOP_COUNT_DIST,
+    PAPER_NODE_DEGREE_DIST,
+)
+from repro.topology.tree import TreeParams, build_tree_topology
+
+
+def build():
+    topo = build_tree_topology(TreeParams(n_leaves=400), np.random.default_rng(0))
+    return topo.hop_count_histogram(), topo.degree_histogram(), topo
+
+
+def test_fig7_distributions(benchmark, report):
+    report.name = "fig7_topology"
+    hops, degrees, topo = benchmark.pedantic(build, iterations=1, rounds=1)
+    report("Fig. 7 (left) — hop count distribution (leaf -> root)")
+    total = sum(hops.values())
+    report(
+        render_table(
+            ["hop count", "frequency", "fraction", "target"],
+            [
+                [h, n, f"{n / total:.3f}", f"{PAPER_HOP_COUNT_DIST.pmf().get(h, 0):.3f}"]
+                for h, n in hops.items()
+            ],
+        )
+    )
+    report("")
+    report("Fig. 7 (right) — node degree distribution (client-side routers)")
+    dtotal = sum(degrees.values())
+    report(
+        render_table(
+            ["degree", "frequency", "fraction"],
+            [[d, n, f"{n / dtotal:.3f}"] for d, n in degrees.items()],
+        )
+    )
+    # --- Shape assertions ---------------------------------------------
+    # Hop counts live on the target support and peak near its mode.
+    support = set(PAPER_HOP_COUNT_DIST.values.tolist())
+    assert set(hops) <= support
+    mode = max(hops, key=hops.get)
+    assert 8 <= mode <= 12
+    # Sampled hop-count fractions within 6 points of the target pmf.
+    pmf = PAPER_HOP_COUNT_DIST.pmf()
+    for h, n in hops.items():
+        assert abs(n / total - pmf[h]) < 0.06
+    # Degree distribution is heavy-tailed: low degrees dominate.
+    low = sum(n for d, n in degrees.items() if d <= 3)
+    assert low / dtotal > 0.7
+    assert max(degrees) >= 4  # some fan-out exists

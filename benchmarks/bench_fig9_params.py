@@ -1,0 +1,32 @@
+"""Fig. 9 — the simulation parameter table.
+
+The paper's Fig. 9 "summarizes the studied parameters and the values we
+experiment with"; we regenerate it from the canonical scenario module
+so the table in the paper and the sweeps in the benchmarks can never
+drift apart.
+"""
+
+from repro.experiments.runner import render_table
+from repro.experiments.scenarios import PARAMETER_TABLE, TreeScenarioParams
+
+
+def build_table():
+    return render_table(["parameter", "values studied", "default"], PARAMETER_TABLE)
+
+
+def test_fig9_parameter_table(benchmark, report):
+    report.name = "fig9_params"
+    table = benchmark.pedantic(build_table, iterations=1, rounds=1)
+    report("Fig. 9 — simulation parameters")
+    report(table)
+    params = TreeScenarioParams()
+    report("")
+    report(
+        f"derived: clients={params.n_clients}, per-client rate="
+        f"{params.client_rate / 1e6:.3f} Mb/s, p={params.honeypot_probability}"
+    )
+    # Sanity: the table names the paper's three studied dimensions.
+    text = table.lower()
+    for needle in ("location", "number of attackers", "attack rate"):
+        assert needle in text
+    assert params.honeypot_probability == 0.4

@@ -1,0 +1,91 @@
+"""Performance micro-benchmarks of the simulator core.
+
+Unlike the figure benches (single-shot experiment regeneration), these
+use pytest-benchmark's statistical timing to track the hot paths: the
+event loop, link serialization, router forwarding, and a small but
+complete traffic scenario.  They guard against performance regressions
+— the full-scale paper scenarios push tens of millions of events.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.topology.string import build_string_topology
+from repro.traffic.sources import CBRSource
+
+
+def test_perf_event_loop(benchmark):
+    """Raw scheduler throughput: 20k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.schedule(i * 1e-6, _noop)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def _noop() -> None:
+    return None
+
+
+def test_perf_link_serialization(benchmark):
+    """Packets through one congested channel (queue churn)."""
+
+    def run():
+        topo = build_string_topology(1, bandwidth=1e6, qlimit=50)
+        net = Network.from_graph(topo.graph)
+        net.build_routes(targets=[topo.server_id])
+        src = CBRSource(
+            net.sim, net.nodes[topo.attacker_id], topo.server_id,
+            rate_bps=4e6, packet_size=500,
+        )
+        src.start(at=0.0)
+        net.run(until=5.0)
+        return net.nodes[topo.server_id].packets_received
+
+    delivered = benchmark(run)
+    assert delivered > 1000  # 1 Mb/s of 500 B packets for 5 s
+
+
+def test_perf_multi_hop_forwarding(benchmark):
+    """Store-and-forward across a 10-router chain."""
+
+    def run():
+        topo = build_string_topology(10)
+        net = Network.from_graph(topo.graph)
+        net.build_routes(targets=[topo.server_id])
+        src = CBRSource(
+            net.sim, net.nodes[topo.attacker_id], topo.server_id,
+            rate_bps=1e6, packet_size=500,
+        )
+        src.start(at=0.0)
+        net.run(until=2.0)
+        return net.sim.events_processed
+
+    events = benchmark(run)
+    assert events > 5000
+
+
+def test_perf_router_hook_overhead(benchmark):
+    """Ingress-hook dispatch cost with a pass-through hook installed."""
+
+    def run():
+        topo = build_string_topology(3)
+        net = Network.from_graph(topo.graph)
+        net.build_routes(targets=[topo.server_id])
+        for router in net.routers():
+            router.add_ingress_hook(lambda pkt, ch: False)
+        src = CBRSource(
+            net.sim, net.nodes[topo.attacker_id], topo.server_id,
+            rate_bps=2e6, packet_size=500,
+        )
+        src.start(at=0.0)
+        net.run(until=2.0)
+        return net.nodes[topo.server_id].packets_received
+
+    delivered = benchmark(run)
+    assert delivered > 500

@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures and
+prints the rows/series the paper reports.  Output also lands in
+``benchmarks/out/<name>.txt`` so results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def report():
+    """Collect lines, then print them and persist to benchmarks/out/."""
+
+    class Reporter:
+        def __init__(self) -> None:
+            self.lines: list[str] = []
+            self.name = "report"
+
+        def __call__(self, *parts: object) -> None:
+            line = " ".join(str(p) for p in parts)
+            self.lines.append(line)
+
+        def flush(self) -> None:
+            text = "\n".join(self.lines) + "\n"
+            print("\n" + text)
+            OUT_DIR.mkdir(exist_ok=True)
+            (OUT_DIR / f"{self.name}.txt").write_text(text)
+
+    reporter = Reporter()
+    yield reporter
+    reporter.flush()

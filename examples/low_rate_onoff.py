@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Progressive back-propagation against low-rate on-off attackers.
+
+Against a zombie that bursts for a few seconds and then goes silent,
+the basic scheme loses all traceback progress at the end of each
+honeypot epoch.  The progressive scheme (Section 6) remembers the
+frontier — the last transit AS the session tree reached — and resumes
+from there in the next honeypot epoch.
+
+This example runs both schemes at AS level against the same on-off
+attacker 12 AS hops away and compares the measured capture time with
+the Section 7 equations.
+
+Run:  python examples/low_rate_onoff.py
+"""
+
+import math
+import statistics
+
+import networkx as nx
+
+from repro.analysis.capture_time import (
+    basic_onoff,
+    onoff_case,
+    progressive_onoff,
+)
+from repro.backprop.interas import ASAttackerSpec, InterASBackprop, InterASConfig
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.topology.aslevel import ASTopology
+
+M, P, R, TAU = 10.0, 0.4, 10.0, 1.0
+HOPS = 12
+T_ON, T_OFF = 3.0, 10.0
+
+
+def chain() -> ASTopology:
+    g = nx.path_graph(HOPS + 1)
+    for n in g.nodes:
+        g.nodes[n]["transit"] = 0 < n < HOPS
+    return ASTopology(
+        graph=g, victim_as=0,
+        transit_ases=list(range(1, HOPS)), stub_ases=[HOPS],
+    )
+
+
+def run(progressive: bool, seed: int) -> float | None:
+    atk = ASAttackerSpec(1, HOPS, R, t_on=T_ON, t_off=T_OFF, phase=1.0)
+    eng = InterASBackprop(
+        chain(),
+        BernoulliSchedule(P, M, seed=seed),
+        [atk],
+        InterASConfig(tau=TAU, per_hop_delay=0.05, intra_as_capture_delay=0.5),
+        progressive=progressive,
+    )
+    eng.run(until=20000.0)
+    return eng.captures.get(1)
+
+
+def main() -> None:
+    case = onoff_case(M, T_ON, T_OFF)
+    print(f"on-off attacker: t_on={T_ON}s t_off={T_OFF}s at {R} pkt/s, "
+          f"{HOPS} AS hops away (analysis case {case})")
+    pred_basic = basic_onoff(M, P, HOPS, R, TAU, T_ON, T_OFF)
+    pred_prog = progressive_onoff(M, P, HOPS, R, TAU, T_ON, T_OFF)
+    print(f"analysis: basic E[CT] = "
+          f"{'unbounded (never captures)' if math.isinf(pred_basic) else f'{pred_basic:.0f}s'}")
+    print(f"analysis: progressive E[CT] <= {pred_prog:.0f}s")
+    print()
+    for name, progressive in (("basic", False), ("progressive", True)):
+        times = [run(progressive, seed) for seed in range(6)]
+        captured = [t for t in times if t is not None]
+        if captured:
+            print(f"{name:12s}: captured {len(captured)}/6 runs, "
+                  f"mean capture time {statistics.mean(captured):.1f}s")
+        else:
+            print(f"{name:12s}: captured 0/6 runs within 20000s "
+                  f"(progress lost at each epoch end)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on machines without
+the `wheel` package (offline environments where PEP 517 editable
+installs fail with `invalid command 'bdist_wheel'`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Analytical capture-time models (Section 7 of the paper)."""
+
+from .capture_time import (
+    CaptureTimeResult,
+    basic_continuous,
+    basic_onoff,
+    capture_time,
+    hop_time,
+    hops_per_success,
+    onoff_case,
+    progressive_continuous,
+    progressive_follower,
+    progressive_onoff,
+    progressive_onoff_special,
+)
+
+__all__ = [
+    "CaptureTimeResult",
+    "basic_continuous",
+    "basic_onoff",
+    "capture_time",
+    "hop_time",
+    "hops_per_success",
+    "onoff_case",
+    "progressive_continuous",
+    "progressive_follower",
+    "progressive_onoff",
+    "progressive_onoff_special",
+]

@@ -1,0 +1,241 @@
+"""Analytical capture-time models (Section 7).
+
+Expected time to reach and stop an attack host ``h`` AS/router hops
+from the victim, under the basic and progressive schemes, for
+continuous, on–off, and follower attacks.  Notation:
+
+* ``m`` — epoch length (s); ``p`` — honeypot probability (per epoch);
+* ``r`` — attack rate (packets/s); ``tau`` — time to propagate a
+  honeypot session one hop upstream;
+* ``h`` — attacker hop distance;
+* on–off attacks: bursts of ``t_on`` s at rate r, then ``t_off`` s off.
+
+The framework (Eqs. 1–2): each Bernoulli trial succeeds with
+probability p (a honeypot epoch overlapping the attack); each success
+propagates ``overlap / (1/r + tau)`` hops toward the attacker; reaching
+the attacker needs h hops, so
+
+    E[CT] = (h / hops_per_success) * (1/p) * time_between_trials
+
+For the basic scheme, a single success must cover all h hops
+(``overlap >= h * (1/r + tau)``), so E[CT] = time_between_trials / p.
+
+All functions return ``math.inf`` when the stated precondition fails
+(the scheme makes no guaranteed progress in that regime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+__all__ = [
+    "hop_time",
+    "hops_per_success",
+    "basic_continuous",
+    "progressive_continuous",
+    "onoff_case",
+    "basic_onoff",
+    "progressive_onoff",
+    "progressive_onoff_special",
+    "progressive_follower",
+    "CaptureTimeResult",
+    "capture_time",
+]
+
+
+def hop_time(r: float, tau: float) -> float:
+    """Time for one hop of progress: wait a packet (1/r) + propagate (τ)."""
+    if r <= 0:
+        raise ValueError(f"attack rate must be positive (got {r})")
+    if tau < 0:
+        raise ValueError(f"tau must be >= 0 (got {tau})")
+    return 1.0 / r + tau
+
+
+def hops_per_success(overlap: float, r: float, tau: float) -> float:
+    """Hops propagated during one attack–honeypot overlap interval."""
+    if overlap < 0:
+        raise ValueError(f"overlap must be >= 0 (got {overlap})")
+    return overlap / hop_time(r, tau)
+
+
+def _check(m: float, p: float, h: float) -> None:
+    if m <= 0:
+        raise ValueError(f"epoch length must be positive (got {m})")
+    if not 0 < p <= 1:
+        raise ValueError(f"honeypot probability must be in (0, 1] (got {p})")
+    if h < 1:
+        raise ValueError(f"hop distance must be >= 1 (got {h})")
+
+
+# ----------------------------------------------------------------------
+# Continuous attack (Section 7.2)
+# ----------------------------------------------------------------------
+def basic_continuous(m: float, p: float, h: float, r: float, tau: float) -> float:
+    """Eq. (3): E[CT] ≈ m / p, valid when m >= h (1/r + τ)."""
+    _check(m, p, h)
+    if m < h * hop_time(r, tau):
+        return math.inf
+    return m / p
+
+
+def progressive_continuous(m: float, p: float, h: float, r: float, tau: float) -> float:
+    """Eq. (4): E[CT] ≈ (m/p) · h / (m / (1/r + τ)) = h (1/r + τ) / p,
+    valid when m >= (1/r + τ)."""
+    _check(m, p, h)
+    ht = hop_time(r, tau)
+    if m < ht:
+        return math.inf
+    return (m / p) * h / (m / ht)
+
+
+# ----------------------------------------------------------------------
+# On–off attack (Section 7.3)
+# ----------------------------------------------------------------------
+def onoff_case(m: float, t_on: float, t_off: float) -> int:
+    """Which of the three on–off cases applies (Fig. 4).
+
+    Case 1: m <= t_on / 2 — each burst overlaps several epochs.
+    Case 2: t_on / 2 < m <= t_on + t_off — each burst meets one epoch.
+    Case 3: m > t_on + t_off — each epoch overlaps several bursts.
+    """
+    if t_on <= 0 or t_off < 0:
+        raise ValueError("need t_on > 0 and t_off >= 0")
+    if m <= t_on / 2:
+        return 1
+    if m <= t_on + t_off:
+        return 2
+    return 3
+
+
+def basic_onoff(
+    m: float, p: float, h: float, r: float, tau: float, t_on: float, t_off: float
+) -> float:
+    """Eqs. (5), (7-basic), (10): basic scheme vs on–off attacks."""
+    _check(m, p, h)
+    ht = hop_time(r, tau)
+    case = onoff_case(m, t_on, t_off)
+    if case == 1:
+        # Eq. (5): trial = burst; need the burst-epoch overlap (m) to
+        # carry all h hops.
+        if m < h * ht:
+            return math.inf
+        return (t_on + t_off) / p
+    if case == 2:
+        # Eq. (7): the burst overlaps one epoch for >= t_on/2.
+        if t_on / 2 < h * ht:
+            return math.inf
+        return (t_on + t_off) / p
+    # Case 3, Eq. (10): trial = epoch; overlap T_m per epoch.
+    t_m = t_on * (m / (t_on + t_off))
+    if t_m < h * ht:
+        return math.inf
+    return m / p
+
+
+def progressive_onoff(
+    m: float, p: float, h: float, r: float, tau: float, t_on: float, t_off: float
+) -> float:
+    """Eqs. (6), (7-progressive), (9), (11): progressive vs on–off."""
+    _check(m, p, h)
+    ht = hop_time(r, tau)
+    case = onoff_case(m, t_on, t_off)
+    if case == 1:
+        # Eq. (6): average overlap per burst is p (t_on - m); the trial
+        # is the burst (period t_on + t_off).
+        overlap = p * (t_on - m)
+        if overlap < ht:
+            return math.inf
+        return (t_on + t_off) * h / (p * hops_per_success(t_on - m, r, tau))
+    if case == 2:
+        # Special case (Eq. 9): bursts so short that exactly one hop of
+        # progress fits in the guaranteed t_on/2 overlap.
+        if t_on / 2 < ht:
+            return math.inf  # no guaranteed progress at all
+        hps = (t_on / 2) / ht
+        if hps < 2.0:
+            # Eq. (9): one hop per success.
+            return h * (t_on + t_off) / p
+        # Eq. (7): overlap >= t_on/2 with one epoch per burst.
+        return ((t_on + t_off) / p) * h / hps
+    # Case 3, Eq. (11): overlap T_m per epoch.
+    t_m = t_on * (m / (t_on + t_off))
+    if t_m < ht:
+        return math.inf
+    return (m / p) * h / (t_m / ht)
+
+
+def progressive_onoff_special(
+    p: float, h: float, t_on: float, t_off: float
+) -> float:
+    """Eq. (9) directly: E[CT] = h (t_on + t_off) / p.
+
+    The attacker's best strategy: shrink t_on until only one hop of
+    progress fits per burst, and stretch t_off."""
+    if not 0 < p <= 1:
+        raise ValueError(f"honeypot probability must be in (0, 1] (got {p})")
+    if h < 1 or t_on <= 0 or t_off < 0:
+        raise ValueError("need h >= 1, t_on > 0, t_off >= 0")
+    return h * (t_on + t_off) / p
+
+
+# ----------------------------------------------------------------------
+# Follower attack (Section 7.3)
+# ----------------------------------------------------------------------
+def progressive_follower(
+    m: float, p: float, h: float, r: float, tau: float, d_follow: float
+) -> float:
+    """Follower attack: E[CT] ≈ (m/p) · h / max(1, d_follow/(1/r+τ)),
+    valid when d_follow >= 1/r + τ."""
+    _check(m, p, h)
+    if d_follow < 0:
+        raise ValueError(f"d_follow must be >= 0 (got {d_follow})")
+    ht = hop_time(r, tau)
+    if d_follow < ht:
+        return math.inf
+    return (m / p) * h / max(1.0, d_follow / ht)
+
+
+# ----------------------------------------------------------------------
+# Unified front-end
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CaptureTimeResult:
+    """Expected capture time plus which regime produced it."""
+
+    expected: float
+    scheme: Literal["basic", "progressive"]
+    attack: Literal["continuous", "onoff", "follower"]
+    case: Optional[int] = None  # on–off case, if applicable
+
+
+def capture_time(
+    scheme: Literal["basic", "progressive"],
+    m: float,
+    p: float,
+    h: float,
+    r: float,
+    tau: float,
+    t_on: Optional[float] = None,
+    t_off: Optional[float] = None,
+    d_follow: Optional[float] = None,
+) -> CaptureTimeResult:
+    """Dispatch to the right equation for a scheme + attack shape."""
+    if d_follow is not None:
+        if scheme != "progressive":
+            raise ValueError("the follower analysis covers the progressive scheme")
+        return CaptureTimeResult(
+            progressive_follower(m, p, h, r, tau, d_follow), scheme, "follower"
+        )
+    if t_on is None and t_off is None:
+        fn = basic_continuous if scheme == "basic" else progressive_continuous
+        return CaptureTimeResult(fn(m, p, h, r, tau), scheme, "continuous")
+    if t_on is None or t_off is None:
+        raise ValueError("give both t_on and t_off or neither")
+    case = onoff_case(m, t_on, t_off)
+    fn = basic_onoff if scheme == "basic" else progressive_onoff
+    return CaptureTimeResult(
+        fn(m, p, h, r, tau, t_on, t_off), scheme, "onoff", case
+    )

@@ -1,0 +1,67 @@
+"""Honeypot back-propagation — the paper's core contribution.
+
+* :mod:`~repro.backprop.intraas` — router-level (intra-AS) traceback
+  on the packet simulator;
+* :mod:`~repro.backprop.interas` — AS-level (inter-AS) traceback over
+  an AS topology, with the progressive scheme and partial deployment;
+* :mod:`~repro.backprop.hsm`, :mod:`~repro.backprop.marking`,
+  :mod:`~repro.backprop.session`, :mod:`~repro.backprop.messages`,
+  :mod:`~repro.backprop.filters` — the building blocks.
+"""
+
+from .attacktree import AttackTreeReport, build_attack_tree
+from .deployment import DeploymentMap
+from .diversion import EdgeRouterAgent, HSMHost, announce_diversion, withdraw_diversion
+from .filters import CaptureRecord, PortBlockFilter
+from .hierarchical import HierarchicalBackprop, MultiASTopology, build_multi_as_network
+from .hsm import HSM, HSMState
+from .interas import ASAttackerSpec, InterASBackprop, InterASConfig
+from .intraas import BackpropRouterAgent, HoneypotServerAgent, IntraASConfig
+from .marking import EdgeRouterMarker, TunnelRegistry, marking_bits_needed
+from .messages import (
+    HoneypotCancel,
+    HoneypotReport,
+    HoneypotRequest,
+    LocalHoneypotCancel,
+    LocalHoneypotRequest,
+    sign_inter_as,
+    verify_inter_as,
+)
+from .progressive import IntermediateASEntry, IntermediateASList
+from .session import HoneypotSession
+
+__all__ = [
+    "ASAttackerSpec",
+    "AttackTreeReport",
+    "BackpropRouterAgent",
+    "CaptureRecord",
+    "DeploymentMap",
+    "EdgeRouterAgent",
+    "EdgeRouterMarker",
+    "HSMHost",
+    "HSM",
+    "HierarchicalBackprop",
+    "MultiASTopology",
+    "HSMState",
+    "HoneypotCancel",
+    "HoneypotReport",
+    "HoneypotRequest",
+    "HoneypotServerAgent",
+    "HoneypotSession",
+    "IntermediateASEntry",
+    "IntermediateASList",
+    "InterASBackprop",
+    "InterASConfig",
+    "IntraASConfig",
+    "LocalHoneypotCancel",
+    "LocalHoneypotRequest",
+    "PortBlockFilter",
+    "TunnelRegistry",
+    "announce_diversion",
+    "build_attack_tree",
+    "build_multi_as_network",
+    "marking_bits_needed",
+    "sign_inter_as",
+    "verify_inter_as",
+    "withdraw_diversion",
+]

@@ -1,0 +1,138 @@
+"""Reconstructing the traceback tree (the paper's Fig. 2 artifact).
+
+Honeypot back-propagation activates "a tree of honeypot sessions rooted
+at the honeypot under attack toward attack sources."  After (or during)
+a run, operators want that tree as data: which routers participated,
+which ports were closed, and the path every captured zombie's traffic
+took.  :func:`build_attack_tree` assembles it from the defense's
+capture records and the topology, and :class:`AttackTreeReport`
+renders the per-attacker summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from .filters import CaptureRecord
+
+__all__ = ["build_attack_tree", "AttackTreeReport"]
+
+
+def build_attack_tree(
+    topology: nx.Graph,
+    captures: Sequence[CaptureRecord],
+    honeypot_addr: int | None = None,
+) -> nx.DiGraph:
+    """The union of victim→attacker paths, oriented toward the sources.
+
+    Parameters
+    ----------
+    topology:
+        The network graph the simulation ran on.
+    captures:
+        Capture records from a :class:`HoneypotBackpropDefense` run.
+    honeypot_addr:
+        If given, restrict the tree to captures triggered by this
+        honeypot (each honeypot roots its own session tree; the union
+        over honeypots is what the full DDoS traceback produces).
+
+    Returns a DiGraph whose edges point upstream (victim side → source
+    side); node attributes mark ``kind`` in {"honeypot", "router",
+    "attacker"} and captured nodes carry ``captured_at``.
+    """
+    tree = nx.DiGraph()
+    for record in captures:
+        if honeypot_addr is not None and record.honeypot_addr != honeypot_addr:
+            continue
+        if record.honeypot_addr not in topology or record.host_addr not in topology:
+            raise ValueError(
+                f"capture {record!r} references nodes outside the topology"
+            )
+        path = nx.shortest_path(topology, record.honeypot_addr, record.host_addr)
+        for a, b in zip(path, path[1:]):
+            tree.add_edge(a, b)
+        tree.add_node(path[0], kind="honeypot")
+        for router in path[1:-1]:
+            tree.nodes[router].setdefault("kind", "router")
+        tree.add_node(
+            record.host_addr,
+            kind="attacker",
+            captured_at=record.time,
+            honeypot=record.honeypot_addr,
+        )
+        tree.nodes[record.access_router_addr]["port_closed"] = True
+    return tree
+
+
+@dataclass
+class AttackTreeReport:
+    """Human-readable summary of a traceback tree."""
+
+    tree: nx.DiGraph
+
+    @property
+    def attackers(self) -> List[int]:
+        return sorted(
+            n for n, d in self.tree.nodes(data=True) if d.get("kind") == "attacker"
+        )
+
+    @property
+    def honeypots(self) -> List[int]:
+        return sorted(
+            n for n, d in self.tree.nodes(data=True) if d.get("kind") == "honeypot"
+        )
+
+    @property
+    def routers_involved(self) -> List[int]:
+        return sorted(
+            n for n, d in self.tree.nodes(data=True) if d.get("kind") == "router"
+        )
+
+    @property
+    def closed_ports(self) -> List[int]:
+        return sorted(
+            n for n, d in self.tree.nodes(data=True) if d.get("port_closed")
+        )
+
+    def path_to(self, attacker: int) -> List[int]:
+        """The honeypot→attacker path recorded in the tree.
+
+        Starts at the honeypot that captured this attacker when known,
+        falling back to any honeypot with a recorded path."""
+        preferred = self.tree.nodes.get(attacker, {}).get("honeypot")
+        roots = ([preferred] if preferred is not None else []) + [
+            r for r in self.honeypots if r != preferred
+        ]
+        for root in roots:
+            try:
+                return nx.shortest_path(self.tree, root, attacker)
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                continue
+        raise ValueError(f"attacker {attacker} not in the tree")
+
+    def branching_summary(self) -> Dict[int, int]:
+        """Router -> out-degree (where the session tree fans out)."""
+        return {
+            n: self.tree.out_degree(n)
+            for n, d in self.tree.nodes(data=True)
+            if d.get("kind") == "router" and self.tree.out_degree(n) > 1
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"traceback tree: {len(self.honeypots)} honeypot(s), "
+            f"{len(self.routers_involved)} routers, "
+            f"{len(self.attackers)} attackers captured",
+        ]
+        for attacker in self.attackers:
+            path = self.path_to(attacker)
+            t = self.tree.nodes[attacker].get("captured_at")
+            hops = len(path) - 1
+            lines.append(
+                f"  attacker {attacker}: {hops} hops "
+                f"({' -> '.join(map(str, path))}) captured at t={t:.2f}s"
+            )
+        return "\n".join(lines)

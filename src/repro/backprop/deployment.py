@@ -1,0 +1,75 @@
+"""Incremental deployment: bridging gaps over routing announcements.
+
+Section 5.3 ("Incremental deployment"): partial deployment creates gaps
+of legacy ASs that cannot host honeypot sessions.  "To bypass these
+deployment gaps, we use routing options to piggyback request and cancel
+messages over routing protocol messages ... the HSM broadcasts the
+honeypot requests over routing announcements to all upstream ASs.
+These announcements are propagated until they reach a deploying AS from
+which point normal propagation is resumed."
+
+:class:`DeploymentMap` records which ASs deploy the scheme and computes
+the BGP-piggyback broadcast frontier across a gap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["DeploymentMap"]
+
+
+class DeploymentMap:
+    """Which ASs deploy honeypot back-propagation.
+
+    ``deployed=None`` means full deployment (every AS deploys).
+    """
+
+    def __init__(self, deployed: Optional[Iterable[int]] = None) -> None:
+        self._deployed: Optional[Set[int]] = (
+            None if deployed is None else set(deployed)
+        )
+
+    def deploys(self, asn: int) -> bool:
+        return self._deployed is None or asn in self._deployed
+
+    @property
+    def full(self) -> bool:
+        return self._deployed is None
+
+    def deployed_count(self, total: int) -> int:
+        return total if self._deployed is None else len(self._deployed)
+
+    # ------------------------------------------------------------------
+    def broadcast_frontier(
+        self, graph: nx.Graph, gap_entry: int, downstream: int
+    ) -> List[Tuple[int, int]]:
+        """BGP-piggyback broadcast across a deployment gap.
+
+        ``gap_entry`` is the non-deploying upstream neighbor the
+        request could not be sent to; ``downstream`` is the AS holding
+        the session (the direction *not* to flood).  Returns
+        ``(deploying_asn, legacy_hops)`` pairs: the deploying ASs where
+        normal propagation resumes, and how many legacy AS hops the
+        announcement crossed to reach each (1 = the gap entry's direct
+        deploying neighbor ... counted from ``downstream``).
+        """
+        if self.deploys(gap_entry):
+            return [(gap_entry, 1)]
+        frontier: List[Tuple[int, int]] = []
+        seen = {downstream, gap_entry}
+        queue = deque([(gap_entry, 1)])
+        while queue:
+            asn, hops = queue.popleft()
+            for nbr in graph.neighbors(asn):
+                if nbr in seen:
+                    continue
+                seen.add(nbr)
+                if self.deploys(nbr):
+                    frontier.append((nbr, hops + 1))
+                else:
+                    queue.append((nbr, hops + 1))
+        return frontier

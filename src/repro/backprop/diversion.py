@@ -1,0 +1,151 @@
+"""Intra-AS honeypot-traffic diversion to the HSM (Section 5.1).
+
+When an AS's HSM holds a honeypot session, ingress traffic destined for
+the honeypot is diverted into the HSM: "ingress honeypot traffic is
+diverted into the HSM by sending [an] iBGP route announcement declaring
+the HSM as the next-hop for ingress traffic destined to S.  Upon
+receiving this route announcement, edge routers forward honeypot
+traffic into the HSM."  The HSM then identifies the ingress edge
+router either by the GRE tunnel the packet arrived through or by the
+edge router's ID stamped into the packet's mark field.
+
+This module realizes that machinery on the packet simulator:
+
+* :class:`EdgeRouterAgent` — sits on an AS edge router; when a
+  diversion is announced for a destination, it re-routes matching
+  packets to the HSM, marking them with its edge-router ID (only
+  honeypot traffic — traffic that will be discarded anyway — is
+  marked, so reusing the header field is safe).
+* :class:`HSMHost` — the HSM host (on a private address): absorbs
+  diverted traffic, recovers each packet's ingress edge router from
+  the mark, and exposes per-upstream-AS ingress counts, which is the
+  information inter-AS propagation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.link import Channel
+from ..sim.node import Host, Router
+from ..sim.packet import Packet, PacketKind
+from .marking import EdgeRouterMarker
+
+__all__ = ["EdgeRouterAgent", "HSMHost", "announce_diversion", "withdraw_diversion"]
+
+
+class HSMHost(Host):
+    """The HSM as a simulated host with a private address.
+
+    Addresses at/above 2e9 are never allocated by topology generators,
+    mirroring the paper's private (non-externally-routable) HSM address.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, marker: EdgeRouterMarker) -> None:
+        super().__init__(sim, node_id, name=f"hsm{node_id}")
+        self.marker = marker
+        # honeypot addr -> {upstream AS: diverted packet count}
+        self.ingress_counts: Dict[int, Dict[int, int]] = {}
+        self.diverted_packets = 0
+        self.unidentified_packets = 0
+        self.on_deliver(self._absorb)
+
+    def _absorb(self, pkt: Packet) -> None:
+        # Diverted packets keep their original (honeypot) destination in
+        # the payload slot of the diversion wrapper; see EdgeRouterAgent.
+        original_dst = pkt.payload if isinstance(pkt.payload, int) else pkt.dst
+        self.diverted_packets += 1
+        upstream = self.marker.ingress_of(pkt)
+        if upstream is None:
+            self.unidentified_packets += 1
+            return
+        per_up = self.ingress_counts.setdefault(original_dst, {})
+        per_up[upstream] = per_up.get(upstream, 0) + 1
+
+    def ingress_of_honeypot(self, honeypot_addr: int) -> Dict[int, int]:
+        """Upstream-AS -> packet count for one honeypot's traffic."""
+        return dict(self.ingress_counts.get(honeypot_addr, {}))
+
+    def reset(self, honeypot_addr: Optional[int] = None) -> None:
+        if honeypot_addr is None:
+            self.ingress_counts.clear()
+        else:
+            self.ingress_counts.pop(honeypot_addr, None)
+
+
+class EdgeRouterAgent:
+    """Diversion logic at one AS edge router.
+
+    Registered with an :class:`~repro.backprop.marking.EdgeRouterMarker`
+    under the upstream AS it faces.  While a diversion is active for a
+    destination, data packets for that destination entering from the
+    edge (i.e. from outside the AS) are marked with this router's ID
+    and forwarded to the HSM instead of the original destination.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        hsm: HSMHost,
+        marker: EdgeRouterMarker,
+        upstream_as: int,
+        external_channels: Optional[List[Channel]] = None,
+    ) -> None:
+        self.sim = sim
+        self.router = router
+        self.hsm = hsm
+        self.marker = marker
+        self.upstream_as = upstream_as
+        marker.assign(self, upstream_as)
+        # Channels on which external (inter-AS) traffic arrives; None
+        # means every input counts as external (single-edge test rigs).
+        self.external_channels = (
+            set(external_channels) if external_channels is not None else None
+        )
+        self.diverted: Dict[int, bool] = {}
+        self.packets_diverted = 0
+        router.add_ingress_hook(self._hook)
+
+    # ------------------------------------------------------------------
+    def announce(self, honeypot_addr: int) -> None:
+        """iBGP announcement: next-hop for ``honeypot_addr`` is the HSM."""
+        self.diverted[honeypot_addr] = True
+
+    def withdraw(self, honeypot_addr: int) -> None:
+        self.diverted.pop(honeypot_addr, None)
+
+    # ------------------------------------------------------------------
+    def _hook(self, pkt: Packet, in_channel) -> bool:
+        if not self.diverted or pkt.kind == PacketKind.CONTROL:
+            return False
+        if pkt.dst not in self.diverted:
+            return False
+        if (
+            self.external_channels is not None
+            and in_channel not in self.external_channels
+        ):
+            return False
+        # Re-address to the HSM, stamp the edge-router ID, remember the
+        # original destination (GRE-encapsulation stand-in).
+        self.marker.mark(pkt, self)
+        pkt.payload = pkt.dst
+        pkt.dst = self.hsm.addr
+        self.packets_diverted += 1
+        out = self.router.route_to(self.hsm.addr)
+        if out is not None:
+            out.send(pkt)
+        return True  # consumed: handed to the HSM path
+
+
+def announce_diversion(edges: List[EdgeRouterAgent], honeypot_addr: int) -> None:
+    """Announce HSM diversion for a honeypot at every edge router."""
+    for edge in edges:
+        edge.announce(honeypot_addr)
+
+
+def withdraw_diversion(edges: List[EdgeRouterAgent], honeypot_addr: int) -> None:
+    """Withdraw the diversion (honeypot epoch ended)."""
+    for edge in edges:
+        edge.withdraw(honeypot_addr)

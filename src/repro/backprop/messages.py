@@ -1,0 +1,103 @@
+"""Honeypot back-propagation control messages.
+
+Two message families (Section 5):
+
+* **Inter-AS** — ``HoneypotRequest`` / ``HoneypotCancel`` between
+  honeypot session managers (HSMs), authenticated with pairwise shared
+  keys like secured BGP sessions; plus the progressive scheme's
+  ``HoneypotReport`` (a stalled transit AS reports its identity and a
+  timestamp to the server, Section 6).
+* **Intra-AS** — ``LocalHoneypotRequest`` / ``LocalHoneypotCancel``
+  between adjacent routers, authenticated hop-by-hop with TTL=255.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..crypto.auth import SharedKeyAuthenticator
+
+__all__ = [
+    "HoneypotRequest",
+    "HoneypotCancel",
+    "HoneypotReport",
+    "LocalHoneypotRequest",
+    "LocalHoneypotCancel",
+    "sign_inter_as",
+    "verify_inter_as",
+]
+
+
+@dataclass(frozen=True)
+class HoneypotRequest:
+    """Inter-AS: create/propagate a honeypot session for ``honeypot_addr``."""
+
+    honeypot_addr: int
+    epoch: int
+    origin_as: int
+    tag: Optional[bytes] = None
+    msg_type: str = field(default="hp_request", init=False)
+
+    def fields(self) -> Tuple:
+        return ("hp_request", self.honeypot_addr, self.epoch, self.origin_as)
+
+
+@dataclass(frozen=True)
+class HoneypotCancel:
+    """Inter-AS: tear down the honeypot session for ``honeypot_addr``."""
+
+    honeypot_addr: int
+    epoch: int
+    origin_as: int
+    tag: Optional[bytes] = None
+    msg_type: str = field(default="hp_cancel", init=False)
+
+    def fields(self) -> Tuple:
+        return ("hp_cancel", self.honeypot_addr, self.epoch, self.origin_as)
+
+
+@dataclass(frozen=True)
+class HoneypotReport:
+    """Progressive scheme: stalled transit AS -> server frontier report."""
+
+    honeypot_addr: int
+    epoch: int
+    reporter_as: int
+    timestamp: float
+    msg_type: str = field(default="hp_report", init=False)
+
+
+@dataclass(frozen=True)
+class LocalHoneypotRequest:
+    """Intra-AS: hop-by-hop router-level session creation."""
+
+    honeypot_addr: int
+    epoch: int
+    msg_type: str = field(default="local_hp_request", init=False)
+
+
+@dataclass(frozen=True)
+class LocalHoneypotCancel:
+    """Intra-AS: hop-by-hop router-level session tear-down."""
+
+    honeypot_addr: int
+    epoch: int
+    msg_type: str = field(default="local_hp_cancel", init=False)
+
+
+def sign_inter_as(msg, auth: SharedKeyAuthenticator):
+    """Return a copy of an inter-AS message carrying a valid MAC."""
+    return type(msg)(
+        honeypot_addr=msg.honeypot_addr,
+        epoch=msg.epoch,
+        origin_as=msg.origin_as,
+        tag=auth.sign(msg.fields()),
+    )
+
+
+def verify_inter_as(msg, auth: SharedKeyAuthenticator) -> bool:
+    """Check an inter-AS message's MAC (forged messages are dropped)."""
+    if msg.tag is None:
+        return False
+    return auth.verify(msg.fields(), msg.tag)

@@ -1,0 +1,90 @@
+"""Progressive back-propagation: the intermediate-AS list (Section 6).
+
+Against low-rate (e.g. on-off) attackers, a single honeypot epoch may
+be too short for sessions to reach the attacker's AS.  The server
+therefore remembers, across epochs, the *frontier*: "the last transit
+ASs at which no further propagation was possible at the last honeypot
+epoch".  When a cancel reaches a transit AS that relayed no requests
+upstream, the AS reports its identity and a timestamp to the server S;
+S stores the AS's time distance ``t_A``.  At ``t_A + τ`` seconds before
+the next honeypot epoch, S sends a request directly to each listed AS,
+so back-propagation resumes from the frontier at epoch start.
+
+Two maintenance rules bound the list (implemented verbatim):
+
+1. an entry added at epoch *i* is removed if the AS does not report at
+   the next honeypot epoch (it propagated upstream, or the report was
+   lost — a rare case in which propagation simply restarts);
+2. an entry is removed after reports in ρ consecutive honeypot epochs
+   (the frontier is stuck; drop it to prevent list explosion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["IntermediateASEntry", "IntermediateASList"]
+
+
+@dataclass
+class IntermediateASEntry:
+    """One frontier AS: time distance from S, and rule bookkeeping."""
+
+    asn: int
+    time_distance: float  # t_A, seconds from S
+    consecutive_reports: int = 1
+    reported_this_epoch: bool = True
+
+
+class IntermediateASList:
+    """The server's frontier list with the two maintenance rules."""
+
+    def __init__(self, rho: int = 3) -> None:
+        if rho < 1:
+            raise ValueError(f"rho must be >= 1 (got {rho})")
+        self.rho = rho
+        self._entries: Dict[int, IntermediateASEntry] = {}
+        self.reports_received = 0
+        self.removed_by_flag_rule = 0
+        self.removed_by_rho_rule = 0
+
+    # ------------------------------------------------------------------
+    def on_report(self, asn: int, time_distance: float) -> None:
+        """Process a frontier report received during the current epoch."""
+        self.reports_received += 1
+        entry = self._entries.get(asn)
+        if entry is None:
+            self._entries[asn] = IntermediateASEntry(asn, time_distance)
+        else:
+            entry.time_distance = time_distance
+            entry.reported_this_epoch = True
+            entry.consecutive_reports += 1
+
+    def end_epoch(self) -> None:
+        """Apply rules 1 and 2 at the end of a honeypot epoch."""
+        for asn in list(self._entries):
+            entry = self._entries[asn]
+            if not entry.reported_this_epoch:
+                # Rule 1: no report this epoch — it propagated upstream
+                # (or the report was lost; propagation then restarts).
+                del self._entries[asn]
+                self.removed_by_flag_rule += 1
+            elif entry.consecutive_reports >= self.rho:
+                # Rule 2: stuck frontier, bound the list size.
+                del self._entries[asn]
+                self.removed_by_rho_rule += 1
+            else:
+                entry.reported_this_epoch = False
+
+    # ------------------------------------------------------------------
+    def resume_targets(self) -> List[Tuple[int, float]]:
+        """(asn, t_A) pairs to pre-send requests to before the next
+        honeypot epoch."""
+        return [(e.asn, e.time_distance) for e in self._entries.values()]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,68 @@
+"""Honeypot sessions.
+
+"A honeypot session is a data structure with a set of associated
+actions.  The data structure is a record of the IP address of S and the
+set of upstream ASs from which honeypot traffic was received."
+(Section 5.1)
+
+The same record shape serves both levels of the hierarchy: at the AS
+level the upstream identities are neighbor AS numbers; at the router
+level they are input channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["HoneypotSession"]
+
+
+@dataclass
+class HoneypotSession:
+    """State of one honeypot session at an HSM or a router.
+
+    Attributes
+    ----------
+    honeypot_addr:
+        The honeypot server address (the attack signature).
+    epoch:
+        The honeypot epoch this session belongs to.
+    created_at:
+        Simulation time the session was created.
+    ingress_counts:
+        Upstream identity -> count of honeypot-traffic packets seen
+        arriving from it (the "set of upstream ASs/ports" record).
+    propagated_to:
+        Upstream identities a request has already been relayed to
+        (cancel messages follow exactly this set).
+    """
+
+    honeypot_addr: int
+    epoch: int
+    created_at: float
+    ingress_counts: Dict[object, int] = field(default_factory=dict)
+    propagated_to: Set[object] = field(default_factory=set)
+
+    def record_ingress(self, upstream: object) -> int:
+        """Count a honeypot-traffic packet from ``upstream``; returns
+        the updated count."""
+        n = self.ingress_counts.get(upstream, 0) + 1
+        self.ingress_counts[upstream] = n
+        return n
+
+    def needs_propagation(self, upstream: object) -> bool:
+        """True if honeypot traffic from ``upstream`` has been seen but
+        no request has been relayed there yet."""
+        return (
+            upstream in self.ingress_counts and upstream not in self.propagated_to
+        )
+
+    def mark_propagated(self, upstream: object) -> None:
+        self.propagated_to.add(upstream)
+
+    @property
+    def stalled(self) -> bool:
+        """No upstream propagation happened (progressive-scheme test:
+        'the AS checks if it has sent any requests upstream')."""
+        return not self.propagated_to

@@ -1,0 +1,12 @@
+"""Cryptographic substrate: hash chains and control-message auth."""
+
+from .auth import KeyRing, SharedKeyAuthenticator, ttl_authenticated
+from .hashchain import HashChain, hash_step
+
+__all__ = [
+    "HashChain",
+    "KeyRing",
+    "SharedKeyAuthenticator",
+    "hash_step",
+    "ttl_authenticated",
+]

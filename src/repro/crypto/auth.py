@@ -1,0 +1,84 @@
+"""Message authentication for honeypot control messages.
+
+Section 5.3 ("Message security"): forged honeypot request/cancel
+messages could themselves mount a DoS attack, so
+
+* **inter-AS** messages are encrypted/authenticated with keys shared
+  between neighboring ASs (like secured BGP sessions) — modeled with
+  HMAC-SHA256 over a canonical encoding; and
+* **intra-AS** messages are sent hop-by-hop and authenticated with the
+  TTL field as in ACC/Pushback: routers only accept control messages
+  whose TTL is 255, i.e. that cannot have crossed a router.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from typing import Dict, Tuple
+
+__all__ = ["SharedKeyAuthenticator", "ttl_authenticated", "KeyRing"]
+
+
+def _canonical(fields: Tuple) -> bytes:
+    return repr(fields).encode()
+
+
+class SharedKeyAuthenticator:
+    """HMAC authenticator over a pairwise shared key."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("shared keys must be at least 128 bits")
+        self._key = key
+
+    def sign(self, fields: Tuple) -> bytes:
+        """MAC over a tuple of message fields."""
+        return hmac.new(self._key, _canonical(fields), hashlib.sha256).digest()
+
+    def verify(self, fields: Tuple, tag: bytes) -> bool:
+        return hmac.compare_digest(self.sign(fields), tag)
+
+
+class KeyRing:
+    """Pairwise shared keys between ASs (peer pairs), as for BGP sessions.
+
+    Keys are symmetric in the pair: ``ring.between(a, b)`` and
+    ``ring.between(b, a)`` return the same authenticator.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[Tuple[int, int], SharedKeyAuthenticator] = {}
+
+    @staticmethod
+    def _pair(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def establish(self, a: int, b: int, key: bytes | None = None) -> SharedKeyAuthenticator:
+        """Create (or return) the shared key between peers ``a`` and ``b``."""
+        pair = self._pair(a, b)
+        auth = self._keys.get(pair)
+        if auth is None:
+            auth = SharedKeyAuthenticator(key if key is not None else secrets.token_bytes(32))
+            self._keys[pair] = auth
+        return auth
+
+    def between(self, a: int, b: int) -> SharedKeyAuthenticator:
+        auth = self._keys.get(self._pair(a, b))
+        if auth is None:
+            raise KeyError(f"no shared key between AS {a} and AS {b}")
+        return auth
+
+    def has(self, a: int, b: int) -> bool:
+        return self._pair(a, b) in self._keys
+
+
+def ttl_authenticated(ttl: int) -> bool:
+    """Hop-by-hop TTL authentication (ACC/Pushback style).
+
+    A control message is accepted only if its TTL is exactly 255: any
+    packet that traversed a router has a lower TTL, so a 255-TTL packet
+    must come from a direct (one-hop) neighbor.
+    """
+    return ttl == 255

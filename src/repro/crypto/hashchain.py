@@ -1,0 +1,85 @@
+"""One-way hash chains for the roaming schedule.
+
+Section 4: "A long hash chain is generated using a one-way hash
+function, and used in a backward fashion.  The last key in the chain,
+K_n, is randomly generated and each key K_i (0 < i < n) is computed as
+H(K_{i+1}) and used to determine the active servers during epoch i."
+
+Disclosing K_t therefore lets a client derive every earlier key
+K_{t-1}, ..., K_1 (and so follow the schedule up to epoch t) while
+revealing nothing about later keys — the time-based subscription token.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import List
+
+__all__ = ["HashChain", "hash_step"]
+
+KEY_BYTES = 32
+
+
+def hash_step(key: bytes) -> bytes:
+    """One application of the chain's one-way function H (SHA-256)."""
+    return hashlib.sha256(key).digest()
+
+
+class HashChain:
+    """A hash chain K_1 ... K_n with K_i = H(K_{i+1}).
+
+    Parameters
+    ----------
+    length:
+        Number of keys n (the number of epochs the chain covers).
+    anchor:
+        The randomly generated last key K_n; a fresh random key is
+        drawn if omitted.
+    """
+
+    def __init__(self, length: int, anchor: bytes | None = None) -> None:
+        if length < 1:
+            raise ValueError(f"chain length must be >= 1 (got {length})")
+        if anchor is None:
+            anchor = secrets.token_bytes(KEY_BYTES)
+        if len(anchor) != KEY_BYTES:
+            raise ValueError(f"anchor must be {KEY_BYTES} bytes")
+        self.length = length
+        # keys[i] is K_{i+1}; generated backward from the anchor.
+        keys: List[bytes] = [b""] * length
+        keys[length - 1] = anchor
+        for i in range(length - 2, -1, -1):
+            keys[i] = hash_step(keys[i + 1])
+        self._keys = keys
+
+    def key(self, epoch: int) -> bytes:
+        """K_epoch, for epoch in 1..length."""
+        if not 1 <= epoch <= self.length:
+            raise IndexError(f"epoch {epoch} outside chain range 1..{self.length}")
+        return self._keys[epoch - 1]
+
+    @staticmethod
+    def derive_backward(key: bytes, from_epoch: int, to_epoch: int) -> bytes:
+        """Derive K_to from K_from for to_epoch <= from_epoch.
+
+        This is what a client holding the subscription token K_t does
+        to compute the key of any current epoch <= t.
+        """
+        if to_epoch > from_epoch:
+            raise ValueError(
+                f"cannot derive forward (from {from_epoch} to {to_epoch}): "
+                "the chain is one-way"
+            )
+        for _ in range(from_epoch - to_epoch):
+            key = hash_step(key)
+        return key
+
+    def verify(self, key: bytes, epoch: int) -> bool:
+        """Check that ``key`` is the genuine K_epoch."""
+        if not 1 <= epoch <= self.length:
+            return False
+        return key == self._keys[epoch - 1]
+
+    def __len__(self) -> int:
+        return self.length

@@ -1,0 +1,12 @@
+"""Pluggable defenses: none / Pushback / honeypot back-propagation."""
+
+from .base import Defense, NoDefense
+from .honeypot_backprop import HoneypotBackpropDefense
+from .pushback_defense import PushbackDefense
+
+__all__ = [
+    "Defense",
+    "HoneypotBackpropDefense",
+    "NoDefense",
+    "PushbackDefense",
+]

@@ -1,0 +1,42 @@
+"""Defense plug-in interface for the packet simulator.
+
+The paper compares three configurations on the same topology and
+workload: no defense, plain ACC/Pushback, and Pushback augmented with
+honeypot back-propagation (Section 8).  A :class:`Defense` attaches
+agents to the instantiated network; scenarios stay defense-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict
+
+from ..sim.network import Network
+
+__all__ = ["Defense", "NoDefense"]
+
+
+class Defense(ABC):
+    """Something that can be attached to a network before a run."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def attach(self, network: Network) -> None:
+        """Install agents/hooks on the network's nodes."""
+
+    def stats(self) -> Dict[str, Any]:
+        """Post-run statistics (captures, messages, ...)."""
+        return {}
+
+
+class NoDefense(Defense):
+    """Baseline: the network runs with plain drop-tail FIFO queues."""
+
+    name = "none"
+
+    def attach(self, network: Network) -> None:  # noqa: ARG002
+        return
+
+    def stats(self) -> Dict[str, Any]:
+        return {"defense": self.name}

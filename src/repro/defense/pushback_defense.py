@@ -1,0 +1,36 @@
+"""Pushback baseline attached to a simulated network."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..pushback.protocol import PushbackAgent, PushbackConfig
+from ..sim.network import Network
+from .base import Defense
+
+__all__ = ["PushbackDefense"]
+
+
+class PushbackDefense(Defense):
+    """Installs an ACC/Pushback agent on every router."""
+
+    name = "pushback"
+
+    def __init__(self, config: Optional[PushbackConfig] = None) -> None:
+        self.config = config or PushbackConfig()
+        self.agents: List[PushbackAgent] = []
+
+    def attach(self, network: Network) -> None:
+        for router in network.routers():
+            self.agents.append(PushbackAgent(network.sim, router, self.config))
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "defense": self.name,
+            "control_messages": sum(a.control_messages_sent for a in self.agents),
+            "rate_limited_packets": sum(a.limiter.dropped for a in self.agents),
+            "active_episodes": sum(len(a.episodes) for a in self.agents),
+            "active_upstream_sessions": sum(
+                len(a.upstream_sessions) for a in self.agents
+            ),
+        }

@@ -1,0 +1,41 @@
+"""Experiment scenarios, validation harness, and batch runners."""
+
+from .runner import (
+    confidence_interval,
+    render_series,
+    render_table,
+    replicate_scenario,
+    summarize,
+    sweep_scenario,
+)
+from .scenarios import (
+    PARAMETER_TABLE,
+    TreeScenarioParams,
+    TreeScenarioResult,
+    paper_scale,
+    run_tree_scenario,
+)
+from .validation import (
+    ValidationOutcome,
+    ValidationParams,
+    run_trial,
+    run_validation,
+)
+
+__all__ = [
+    "PARAMETER_TABLE",
+    "confidence_interval",
+    "TreeScenarioParams",
+    "TreeScenarioResult",
+    "ValidationOutcome",
+    "ValidationParams",
+    "paper_scale",
+    "render_series",
+    "render_table",
+    "replicate_scenario",
+    "run_tree_scenario",
+    "run_trial",
+    "run_validation",
+    "summarize",
+    "sweep_scenario",
+]

@@ -1,0 +1,183 @@
+"""Figure regeneration as plain functions (shared by the CLI).
+
+Each ``figN`` function runs the corresponding experiment at a chosen
+scale and returns the formatted text the paper's figure reports.  The
+benchmark suite (``benchmarks/bench_*.py``) layers shape *assertions*
+on top of the same underlying scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..analysis.capture_time import progressive_continuous, progressive_onoff
+from ..topology.distributions import PAPER_HOP_COUNT_DIST
+from ..topology.tree import TreeParams, build_tree_topology
+from .runner import render_table
+from .scenarios import (
+    PARAMETER_TABLE,
+    TreeScenarioParams,
+    paper_scale,
+    run_tree_scenario,
+)
+from .validation import ValidationParams, run_validation
+
+__all__ = ["FIGURES", "figure"]
+
+
+def _scenario_base(scale: str) -> TreeScenarioParams:
+    base = TreeScenarioParams(seed=1)
+    if scale == "paper":
+        return paper_scale(base)
+    if scale == "quick":
+        return replace(
+            base, n_leaves=50, duration=60.0, attack_start=10.0, attack_end=50.0
+        )
+    return base
+
+
+def fig5(scale: str = "default") -> str:
+    m, p, h, r, tau = 10.0, 0.4, 10, 10.0, 1.0
+    lines = [
+        "Fig. 5 — analytical capture time, progressive back-propagation",
+        f"continuous floor: {progressive_continuous(m, p, h, r, tau):.1f} s",
+    ]
+    for t_off in (5.0, 10.0):
+        pts = []
+        for t_on in np.arange(2.4, 60.0, 3.2):
+            ct = progressive_onoff(m, p, h, r, tau, float(t_on), t_off)
+            pts.append(f"{t_on:.0f}:{'inf' if math.isinf(ct) else f'{ct:.0f}'}")
+        lines.append(f"on-off t_off={t_off:g}s  " + "  ".join(pts))
+    return "\n".join(lines)
+
+
+def fig6(scale: str = "default") -> str:
+    runs = 3 if scale == "quick" else 8
+    base = ValidationParams(hops=10, p=0.3, epoch_len=10.0, runs=runs, seed=7)
+    lines = ["Fig. 6 — Eq. (3) validation (sim mean vs m/p bound)"]
+    sweeps = {
+        "p": ("p", [0.2, 0.4, 0.8], base),
+        "m": ("epoch_len", [5.0, 10.0, 20.0], replace(base, hops=20)),
+        "h": ("hops", [2, 10, 20], replace(base, epoch_len=30.0)),
+    }
+    for label, (field, values, b) in sweeps.items():
+        rows = []
+        for v in values:
+            out = run_validation(replace(b, **{field: v}))
+            rows.append([v, f"{out.mean_capture_time:.2f}", f"{out.predicted:.2f}"])
+        lines.append(render_table([label, "sim (s)", "Eq.3 (s)"], rows))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def fig7(scale: str = "default") -> str:
+    n_leaves = 100 if scale == "quick" else 400
+    topo = build_tree_topology(
+        TreeParams(n_leaves=n_leaves), np.random.default_rng(0)
+    )
+    hops = topo.hop_count_histogram()
+    total = sum(hops.values())
+    rows = [
+        [h, n, f"{n / total:.3f}", f"{PAPER_HOP_COUNT_DIST.pmf().get(h, 0):.3f}"]
+        for h, n in hops.items()
+    ]
+    lines = [
+        "Fig. 7 — topology distributions",
+        render_table(["hops", "count", "fraction", "target"], rows),
+        "",
+        render_table(
+            ["degree", "count"], [[d, n] for d, n in topo.degree_histogram().items()]
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def fig8(scale: str = "default") -> str:
+    base = _scenario_base(scale)
+    lines = [
+        "Fig. 8 — legitimate throughput (%) over time, "
+        f"attack in [{base.attack_start:.0f}, {base.attack_end:.0f}] s"
+    ]
+    results = {
+        name: run_tree_scenario(replace(base, defense=name))
+        for name in ("honeypot", "pushback", "none")
+    }
+    lines.append("t(s)  " + "  ".join(f"{n:>9s}" for n in results))
+    times = results["none"].times
+    step = max(1, len(times) // 20)
+    for i in range(0, len(times), step):
+        lines.append(
+            f"{times[i]:5.0f} "
+            + "  ".join(f"{results[n].legit_pct[i]:9.1f}" for n in results)
+        )
+    hp = results["honeypot"]
+    lines.append(
+        f"captures: {len(hp.capture_times)}/{base.n_attackers}, "
+        f"false: {hp.false_captures}"
+    )
+    return "\n".join(lines)
+
+
+def fig9(scale: str = "default") -> str:
+    return "Fig. 9 — simulation parameters\n" + render_table(
+        ["parameter", "values studied", "default"], PARAMETER_TABLE
+    )
+
+
+def fig10(scale: str = "default") -> str:
+    base = _scenario_base(scale)
+    rows = []
+    for placement in ("far", "even", "close"):
+        row = [placement]
+        for defense in ("honeypot", "pushback", "none"):
+            res = run_tree_scenario(
+                replace(base, placement=placement, defense=defense)
+            )
+            row.append(f"{res.legit_pct_during_attack:.1f}")
+        rows.append(row)
+    return "Fig. 10 — client throughput (%) vs attacker location\n" + render_table(
+        ["location", "honeypot", "pushback", "none"], rows
+    )
+
+
+def fig11(scale: str = "default") -> str:
+    base = replace(_scenario_base(scale), attacker_rate=0.5e6)
+    counts = (5, 25) if scale == "quick" else (5, 10, 25, 50)
+    rows = []
+    for n in counts:
+        row = [n]
+        for defense in ("honeypot", "pushback", "none"):
+            res = run_tree_scenario(
+                replace(base, n_attackers=n, defense=defense)
+            )
+            row.append(f"{res.legit_pct_during_attack:.1f}")
+        rows.append(row)
+    return "Fig. 11 — client throughput (%) vs number of attackers\n" + render_table(
+        ["# attackers", "honeypot", "pushback", "none"], rows
+    )
+
+
+FIGURES: Dict[str, Callable[[str], str]] = {
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+}
+
+
+def figure(name: str, scale: str = "default") -> str:
+    """Regenerate one figure by name ('fig5' ... 'fig11')."""
+    try:
+        fn = FIGURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
+        ) from None
+    return fn(scale)

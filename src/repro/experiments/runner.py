@@ -1,0 +1,117 @@
+"""Experiment running utilities: replication, sweeps, text tables.
+
+Benchmarks and examples print the same rows/series the paper reports;
+these helpers keep that rendering consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .scenarios import TreeScenarioParams, TreeScenarioResult, run_tree_scenario
+
+__all__ = [
+    "confidence_interval",
+    "render_series",
+    "render_table",
+    "replicate_scenario",
+    "summarize",
+    "sweep_scenario",
+]
+
+
+def replicate_scenario(
+    params: TreeScenarioParams, seeds: Sequence[int]
+) -> List[TreeScenarioResult]:
+    """Run the same scenario under several seeds."""
+    return [run_tree_scenario(replace(params, seed=s)) for s in seeds]
+
+
+def sweep_scenario(
+    base: TreeScenarioParams,
+    field_name: str,
+    values: Iterable[Any],
+    seeds: Sequence[int] = (0,),
+) -> Dict[Any, List[TreeScenarioResult]]:
+    """Sweep one parameter, replicating each point over ``seeds``."""
+    out: Dict[Any, List[TreeScenarioResult]] = {}
+    for v in values:
+        params = replace(base, **{field_name: v})
+        out[v] = replicate_scenario(params, seeds)
+    return out
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / max of a metric across replications."""
+    if not values:
+        return {"mean": float("nan"), "std": float("nan"), "min": float("nan"), "max": float("nan"), "n": 0}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "n": len(arr),
+    }
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple:
+    """(low, high) t-based confidence interval on the mean.
+
+    Falls back to the normal quantile when scipy is unavailable;
+    returns (mean, mean) for a single sample.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1) (got {confidence})")
+    if not values:
+        raise ValueError("need at least one sample")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    n = len(arr)
+    if n == 1:
+        return (mean, mean)
+    sem = float(arr.std(ddof=1)) / np.sqrt(n)
+    try:
+        from scipy import stats
+
+        t = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    except ImportError:  # pragma: no cover - scipy is a dev dependency
+        t = 1.96
+    return (mean - t * sem, mean + t * sem)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text table with aligned columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str, xs: Sequence[float], ys: Sequence[float], unit: str = ""
+) -> str:
+    """One named (x, y) series as compact text."""
+    pairs = "  ".join(f"{x:g}:{y:.2f}" for x, y in zip(xs, ys))
+    suffix = f" [{unit}]" if unit else ""
+    return f"{label}{suffix}: {pairs}"
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

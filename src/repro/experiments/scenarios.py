@@ -1,0 +1,294 @@
+"""Standard experiment scenarios (Section 8.3 / Fig. 9).
+
+The paper's main simulation setup: a tree topology with five servers
+behind a 10 Mb/s bottleneck; legitimate clients and attackers on the
+leaves, all sending CBR traffic toward the servers; legitimate load
+held at ~90% of the bottleneck; attacks active during the middle of
+the run.  Three defense configurations run on identical workloads:
+no defense, ACC/Pushback, and honeypot back-propagation.
+
+``DEFAULT_SCALE`` shrinks the paper's 1000-leaf, 1000-second runs to
+100 leaves / 100 seconds so a full figure regenerates in minutes on a
+laptop; ``paper_scale()`` restores the full-size settings.  The
+legitimate:attack:bottleneck rate ratios are identical at both scales,
+which is what the reported shapes depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Literal, Optional, Tuple
+
+from ..backprop.intraas import IntraASConfig
+from ..crypto.hashchain import HashChain
+from ..defense.base import Defense, NoDefense
+from ..defense.honeypot_backprop import HoneypotBackpropDefense
+from ..defense.pushback_defense import PushbackDefense
+from ..honeypots.roaming import RoamingServerPool
+from ..honeypots.schedule import RoamingSchedule
+from ..honeypots.subscription import SubscriptionService
+from ..pushback.protocol import PushbackConfig
+from ..sim.monitor import ThroughputMonitor, mean_over_window
+from ..sim.network import Network
+from ..sim.rng import RngRegistry
+from ..topology.tree import TreeParams, assign_roles, build_tree_topology
+from ..traffic.attacker import AttackHost
+from ..traffic.client import RoamingClientApp, StaticClientApp
+
+__all__ = [
+    "TreeScenarioParams",
+    "TreeScenarioResult",
+    "run_tree_scenario",
+    "paper_scale",
+    "PARAMETER_TABLE",
+    "DefenseName",
+]
+
+DefenseName = Literal["none", "pushback", "honeypot"]
+
+
+@dataclass(frozen=True)
+class TreeScenarioParams:
+    """All knobs of the standard tree scenario (Fig. 9's table)."""
+
+    # Topology
+    n_leaves: int = 100
+    n_servers: int = 5
+    bottleneck_bw: float = 10e6
+    # Roaming honeypots
+    n_active: int = 3
+    epoch_len: float = 10.0
+    # Guard bands: delta bounds clock skew; gamma must cover the worst
+    # client->server latency *including bottleneck queueing* so that
+    # in-flight legitimate packets never land inside a honeypot window.
+    delta: float = 0.02
+    gamma: float = 0.25
+    # Attack
+    n_attackers: int = 25
+    attacker_rate: float = 1.0e6
+    placement: Literal["close", "far", "even"] = "even"
+    t_on: Optional[float] = None
+    t_off: Optional[float] = None
+    # Legitimate load: fraction of the bottleneck filled by clients.
+    legit_load: float = 0.9
+    packet_size: int = 1000
+    # CBR inter-packet jitter; breaks drop-tail phase locking between
+    # perfectly periodic flows (ns-2 CBR's random_ flag).
+    jitter: float = 0.1
+    # Timeline
+    duration: float = 100.0
+    attack_start: float = 10.0
+    attack_end: float = 90.0
+    # Defense
+    defense: DefenseName = "honeypot"
+    # Honeypot back-propagation knobs (see IntraASConfig).
+    trigger_threshold: int = 2
+    cancel_lead: float = 0.3
+    seed: int = 0
+
+    @property
+    def n_clients(self) -> int:
+        return self.n_leaves - self.n_attackers
+
+    @property
+    def client_rate(self) -> float:
+        """Per-client rate that keeps total legit load at the target."""
+        if self.n_clients == 0:
+            return 0.0
+        return self.legit_load * self.bottleneck_bw / self.n_clients
+
+    @property
+    def honeypot_probability(self) -> float:
+        return (self.n_servers - self.n_active) / self.n_servers
+
+
+def paper_scale(params: TreeScenarioParams) -> TreeScenarioParams:
+    """The paper's full-scale settings (1000 leaves, 1000 s runs)."""
+    return replace(
+        params,
+        n_leaves=1000,
+        duration=1000.0,
+        attack_start=50.0,
+        attack_end=950.0,
+    )
+
+
+# Fig. 9: the parameter space the paper studies.
+PARAMETER_TABLE: List[Tuple[str, str, str]] = [
+    ("attacker location", "close / evenly distributed / far", "evenly distributed"),
+    ("number of attackers", "5, 10, 25, 50", "25"),
+    ("attack rate per attacker", "0.1, 0.25, 0.5, 1.0 Mb/s", "1.0 Mb/s"),
+    ("legitimate load", "~90% of bottleneck (total)", "0.9"),
+    ("servers (N, k)", "N=5, k=3  =>  p = 0.4", "N=5, k=3"),
+    ("epoch length m", "10 s", "10 s"),
+    ("defense", "none / Pushback / honeypot back-propagation", "—"),
+]
+
+
+@dataclass
+class TreeScenarioResult:
+    """Everything a figure needs from one run."""
+
+    params: TreeScenarioParams
+    times: List[float]
+    legit_pct: List[float]
+    attack_pct: List[float]
+    legit_pct_during_attack: float
+    defense_stats: Dict[str, Any]
+    capture_times: Dict[int, float] = field(default_factory=dict)
+    false_captures: int = 0
+    attacker_ids: List[int] = field(default_factory=list)
+    client_ids: List[int] = field(default_factory=list)
+    events_processed: int = 0
+
+
+def _build_defense(
+    params: TreeScenarioParams,
+    net: Network,
+    topo,
+    rngs: RngRegistry,
+) -> Tuple[Defense, Optional[RoamingServerPool], Optional[SubscriptionService]]:
+    if params.defense == "none":
+        return NoDefense(), None, None
+    if params.defense == "pushback":
+        return PushbackDefense(PushbackConfig()), None, None
+    if params.defense == "honeypot":
+        n_epochs = int(params.duration / params.epoch_len) + 3
+        chain = HashChain(
+            n_epochs + 64,
+            anchor=rngs.stream("hashchain").bytes(32),
+        )
+        schedule = RoamingSchedule(
+            params.n_servers, params.n_active, params.epoch_len, chain
+        )
+        servers = [net.nodes[sid] for sid in topo.server_ids]
+        pool = RoamingServerPool(
+            net.sim, servers, schedule, delta=params.delta, gamma=params.gamma
+        )
+        service = SubscriptionService(schedule, chain)
+        defense = HoneypotBackpropDefense(
+            pool,
+            net.nodes[topo.server_router_id],
+            IntraASConfig(
+                trigger_threshold=params.trigger_threshold,
+                cancel_lead=params.cancel_lead,
+            ),
+        )
+        return defense, pool, service
+    raise ValueError(f"unknown defense {params.defense!r}")
+
+
+def run_tree_scenario(params: TreeScenarioParams) -> TreeScenarioResult:
+    """Build, run, and measure one tree-scenario simulation."""
+    if not 0 <= params.n_attackers <= params.n_leaves:
+        raise ValueError("n_attackers out of range")
+    if not 0 < params.attack_start < params.attack_end <= params.duration:
+        raise ValueError("need 0 < attack_start < attack_end <= duration")
+    rngs = RngRegistry(params.seed)
+
+    tree_params = TreeParams(
+        n_leaves=params.n_leaves,
+        n_servers=params.n_servers,
+        bottleneck_bw=params.bottleneck_bw,
+    )
+    topo = build_tree_topology(tree_params, rngs.stream("topology"))
+    net = Network.from_graph(topo.graph)
+    net.build_routes(targets=topo.server_ids)
+
+    attacker_ids, client_ids = assign_roles(
+        topo, params.n_attackers, params.placement, rngs.stream("roles")
+    )
+    defense, pool, service = _build_defense(params, net, topo, rngs)
+    defense.attach(net)
+
+    # --- Legitimate clients -------------------------------------------
+    client_rng = rngs.stream("clients")
+    clients = []
+    for leaf in client_ids:
+        host = net.nodes[leaf]
+        if service is not None:
+            sub = service.subscribe(0.0, "high")
+            app = RoamingClientApp(
+                net.sim,
+                host,
+                sub,
+                topo.server_ids,
+                params.client_rate,
+                client_rng,
+                params.packet_size,
+                jitter=params.jitter,
+            )
+        else:
+            app = StaticClientApp(
+                net.sim,
+                host,
+                topo.server_ids,
+                params.client_rate,
+                client_rng,
+                params.packet_size,
+                jitter=params.jitter,
+            )
+        # Stagger client start within one packet interval to avoid
+        # phase-locked bursts at t=0.
+        app.start(at=float(client_rng.uniform(0.0, 0.2)))
+        clients.append(app)
+
+    # --- Attackers -----------------------------------------------------
+    attack_rng = rngs.stream("attackers")
+    zombies = []
+    for leaf in attacker_ids:
+        host = net.nodes[leaf]
+        z = AttackHost(
+            net.sim,
+            host,
+            topo.server_ids,
+            params.attacker_rate,
+            attack_rng,
+            params.packet_size,
+            t_on=params.t_on,
+            t_off=params.t_off,
+            jitter=params.jitter,
+        )
+        z.start(at=params.attack_start)
+        net.sim.schedule_at(params.attack_end, z.stop)
+        zombies.append(z)
+
+    # --- Measurement ---------------------------------------------------
+    def classify(pkt):
+        if pkt.flow and pkt.flow[0] == "client":
+            return "legit"
+        if pkt.flow and pkt.flow[0] == "attack":
+            return "attack"
+        return None
+
+    servers = [net.nodes[sid] for sid in topo.server_ids]
+    monitor = ThroughputMonitor(net.sim, servers, classify, interval=1.0)
+    monitor.start()
+
+    net.run(until=params.duration)
+
+    legit_pct = monitor.percent_of("legit", params.bottleneck_bw)
+    attack_pct = monitor.percent_of("attack", params.bottleneck_bw)
+    during = mean_over_window(
+        monitor.times, legit_pct, params.attack_start, params.attack_end
+    )
+
+    capture_times: Dict[int, float] = {}
+    false_caps = 0
+    if isinstance(defense, HoneypotBackpropDefense):
+        capture_times = defense.capture_times(params.attack_start)
+        false_caps = len(defense.false_captures(attacker_ids))
+
+    return TreeScenarioResult(
+        params=params,
+        times=list(monitor.times),
+        legit_pct=legit_pct,
+        attack_pct=attack_pct,
+        legit_pct_during_attack=during,
+        defense_stats=defense.stats(),
+        capture_times=capture_times,
+        false_captures=false_caps,
+        attacker_ids=list(attacker_ids),
+        client_ids=list(client_ids),
+        events_processed=net.sim.events_processed,
+    )

@@ -1,0 +1,33 @@
+"""Roaming honeypots substrate (Khattab et al. 2004, Section 4)."""
+
+from .blacklist import Blacklist
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+    ConnectionState,
+)
+from .roaming import RoamingServerPool
+from .schedule import BernoulliSchedule, EpochClock, RoamingSchedule
+from .subscription import (
+    ClientSubscription,
+    RoamingKey,
+    SubscriptionExpired,
+    SubscriptionService,
+)
+
+__all__ = [
+    "BernoulliSchedule",
+    "Blacklist",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "ClientSubscription",
+    "ConnectionState",
+    "EpochClock",
+    "RoamingKey",
+    "RoamingSchedule",
+    "RoamingServerPool",
+    "SubscriptionExpired",
+    "SubscriptionService",
+]

@@ -1,0 +1,84 @@
+"""Handshake-verified source blacklisting.
+
+"The source address of any request that hits a honeypot is blacklisted,
+so that all future requests from this source are subsequently dropped.
+The source address is not blacklisted unless a full handshake is
+recorded to ensure that it is not spoofed."  (Section 4)
+
+A honeypot that receives a SYN answers with a SYN-ACK; only if the
+claimed source then completes the handshake (proving it can receive at
+that address, i.e. the address is not spoofed) is it blacklisted.
+Spoofed sources never complete the handshake, so spoofing cannot be
+used to blacklist innocent third parties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+__all__ = ["Blacklist"]
+
+
+class Blacklist:
+    """Blacklist with three-way-handshake confirmation."""
+
+    def __init__(self, handshake_timeout: float = 3.0) -> None:
+        if handshake_timeout <= 0:
+            raise ValueError("handshake timeout must be positive")
+        self.handshake_timeout = handshake_timeout
+        self._blacklisted: Set[int] = set()
+        # src -> deadline by which the ACK must arrive.
+        self._pending: Dict[int, float] = {}
+        self.confirmed = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------
+    def on_syn(self, src: int, now: float) -> bool:
+        """Record a SYN received by a honeypot.
+
+        Returns True if a SYN-ACK should be sent (i.e. the source is
+        not already blacklisted and no handshake is pending).
+        """
+        if src in self._blacklisted:
+            return False
+        deadline = now + self.handshake_timeout
+        existing = self._pending.get(src)
+        if existing is not None and existing > now:
+            return False
+        self._pending[src] = deadline
+        return True
+
+    def on_ack(self, src: int, now: float) -> bool:
+        """Record a handshake-completing ACK; blacklist if in time.
+
+        Returns True if the source was blacklisted by this call.
+        """
+        deadline = self._pending.pop(src, None)
+        if deadline is None:
+            return False
+        if now > deadline:
+            self.expired += 1
+            return False
+        self._blacklisted.add(src)
+        self.confirmed += 1
+        return True
+
+    def expire(self, now: float) -> None:
+        """Drop handshakes that timed out (spoofed sources stay clean)."""
+        stale = [src for src, dl in self._pending.items() if now > dl]
+        for src in stale:
+            del self._pending[src]
+            self.expired += 1
+
+    # ------------------------------------------------------------------
+    def is_blacklisted(self, src: int) -> bool:
+        return src in self._blacklisted
+
+    def __contains__(self, src: int) -> bool:
+        return src in self._blacklisted
+
+    def __len__(self) -> int:
+        return len(self._blacklisted)
+
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,127 @@
+"""Roaming server pool: epoch transitions, roles, and guard bands.
+
+The pool drives the epoch clock inside the simulator and answers the
+question the back-propagation trigger depends on: *is server s acting
+as a honeypot right now?*
+
+Loose clock synchronization (Section 4): clock shift among components
+is bounded by δ, and γ is the estimated client→server communication
+delay.  "Each service epoch starts earlier by δ at the new servers and
+ends later by δ + γ at the active servers of the previous epoch."  A
+server's *honeypot-effective* window inside an epoch is therefore
+trimmed:
+
+* if the server was active in the previous epoch, its honeypot role
+  starts δ + γ after the epoch boundary (late legitimate packets are
+  still in flight);
+* if the server will be active in the next epoch, its honeypot role
+  ends δ before the boundary (it has already started serving early).
+
+Packets a honeypot receives inside the trimmed window are attack
+traffic with high confidence; the guard bands remove the legitimate
+stragglers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.engine import Simulator, Timer
+from ..sim.node import Host
+from .schedule import BernoulliSchedule, RoamingSchedule
+
+__all__ = ["RoamingServerPool"]
+
+# Listener signature: (epoch, active_server_indices) -> None
+EpochListener = Callable[[int, frozenset], None]
+
+
+class RoamingServerPool:
+    """Manages roles of a replicated server pool under a roaming schedule."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: Sequence[Host],
+        schedule: RoamingSchedule | BernoulliSchedule,
+        delta: float = 0.05,
+        gamma: float = 0.05,
+    ) -> None:
+        if isinstance(schedule, RoamingSchedule) and len(servers) != schedule.n_servers:
+            raise ValueError(
+                f"pool has {len(servers)} servers but schedule expects "
+                f"{schedule.n_servers}"
+            )
+        if delta < 0 or gamma < 0:
+            raise ValueError("guard bands must be non-negative")
+        self.sim = sim
+        self.servers = list(servers)
+        self.schedule = schedule
+        self.delta = delta
+        self.gamma = gamma
+        self.epoch_listeners: List[EpochListener] = []
+        self._timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    # Role queries
+    # ------------------------------------------------------------------
+    def server_index(self, host: Host) -> int:
+        return self.servers.index(host)
+
+    def current_epoch(self) -> int:
+        return self.schedule.epoch_index(self.sim.now)
+
+    def active_servers(self, epoch: Optional[int] = None) -> List[Host]:
+        epoch = self.current_epoch() if epoch is None else epoch
+        active = self.schedule.active_set(epoch)
+        return [self.servers[i] for i in sorted(active)]
+
+    def is_honeypot_now(self, server_idx: int, now: Optional[float] = None) -> bool:
+        """True if the server is in its honeypot-effective window."""
+        now = self.sim.now if now is None else now
+        epoch = self.schedule.epoch_index(now)
+        if not self.schedule.is_honeypot(server_idx, epoch):
+            return False
+        start, end = self.honeypot_window(server_idx, epoch)
+        return start <= now < end
+
+    def honeypot_window(self, server_idx: int, epoch: int) -> tuple[float, float]:
+        """Honeypot-effective [start, end) of ``server_idx`` in ``epoch``.
+
+        Returns an empty window (start >= end) if the server is active
+        in the epoch or the guard bands consume the whole epoch.
+        """
+        start, end = self.schedule.epoch_bounds(epoch)
+        if not self.schedule.is_honeypot(server_idx, epoch):
+            return (end, end)
+        if epoch > 1 and self.schedule.is_active(server_idx, epoch - 1):
+            start += self.delta + self.gamma
+        if self.schedule.is_active(server_idx, epoch + 1):
+            end -= self.delta
+        return (start, end) if end >= start else (start, start)
+
+    # ------------------------------------------------------------------
+    # Epoch transitions
+    # ------------------------------------------------------------------
+    def on_epoch(self, listener: EpochListener) -> None:
+        """Register a callback fired at each epoch boundary."""
+        self.epoch_listeners.append(listener)
+
+    def start(self) -> None:
+        """Begin firing epoch transitions in the simulator."""
+        if self._timer is not None:
+            return
+        # Fire the first epoch immediately, then at each boundary.
+        self._announce()
+        self._timer = self.sim.every(self.schedule.epoch_len, self._announce)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _announce(self) -> None:
+        epoch = self.current_epoch()
+        active = frozenset(self.schedule.active_set(epoch))
+        for listener in self.epoch_listeners:
+            listener(epoch, active)

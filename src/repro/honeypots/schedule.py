@@ -1,0 +1,145 @@
+"""Pseudo-random roaming schedules.
+
+The roaming honeypots scheme divides time into epochs of length ``m``.
+In each epoch ``k`` of the ``N`` servers are *active* and the remaining
+``N - k`` act as honeypots; the choice is derived from the epoch's hash
+chain key, which servers and subscribed clients share.  The probability
+that a given server is a honeypot in an epoch is p = (N - k) / N.
+
+Two schedule flavors are provided:
+
+* :class:`RoamingSchedule` — the real scheme: the active set of each
+  epoch is a deterministic function of the chain key K_i.
+* :class:`BernoulliSchedule` — the abstraction used by the paper's
+  analysis and validation experiments (Sections 7, 8.2): a single
+  server that is a honeypot in each epoch independently with
+  probability ``p``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import FrozenSet
+
+import numpy as np
+
+from ..crypto.hashchain import HashChain
+
+__all__ = ["EpochClock", "RoamingSchedule", "BernoulliSchedule"]
+
+
+class EpochClock:
+    """Maps simulation time to 1-based epoch indices of length ``m``."""
+
+    def __init__(self, epoch_len: float, start_time: float = 0.0) -> None:
+        if epoch_len <= 0:
+            raise ValueError(f"epoch length must be positive (got {epoch_len})")
+        self.epoch_len = epoch_len
+        self.start_time = start_time
+
+    def epoch_index(self, t: float) -> int:
+        """Epoch containing time ``t`` (1-based; epoch 1 starts at start_time)."""
+        if t < self.start_time:
+            raise ValueError(f"t={t} predates the schedule start {self.start_time}")
+        return 1 + int((t - self.start_time) / self.epoch_len)
+
+    def epoch_bounds(self, epoch: int) -> tuple[float, float]:
+        """[start, end) of a 1-based epoch index."""
+        if epoch < 1:
+            raise ValueError(f"epoch indices are 1-based (got {epoch})")
+        start = self.start_time + (epoch - 1) * self.epoch_len
+        return start, start + self.epoch_len
+
+
+class RoamingSchedule(EpochClock):
+    """Active-server schedule derived from a hash chain.
+
+    The active set of epoch ``i`` is a pseudo-random k-subset of the N
+    servers seeded by K_i, so anyone holding K_i (all servers; clients
+    holding K_t with t >= i) computes the same set, while an attacker
+    without the key cannot predict it.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        n_active: int,
+        epoch_len: float,
+        chain: HashChain,
+        start_time: float = 0.0,
+    ) -> None:
+        super().__init__(epoch_len, start_time)
+        if not 1 <= n_active <= n_servers:
+            raise ValueError(
+                f"need 1 <= k <= N (got k={n_active}, N={n_servers})"
+            )
+        self.n_servers = n_servers
+        self.n_active = n_active
+        self.chain = chain
+        self._cache: dict[int, FrozenSet[int]] = {}
+
+    @property
+    def honeypot_probability(self) -> float:
+        """p = (N - k) / N."""
+        return (self.n_servers - self.n_active) / self.n_servers
+
+    def active_set(self, epoch: int) -> FrozenSet[int]:
+        """Indices (0..N-1) of the servers active during ``epoch``."""
+        cached = self._cache.get(epoch)
+        if cached is not None:
+            return cached
+        key = self.chain.key(epoch)
+        return self.active_set_from_key(key, epoch)
+
+    def active_set_from_key(self, key: bytes, epoch: int) -> FrozenSet[int]:
+        """Active set computed from a disclosed chain key (client side)."""
+        seed = int.from_bytes(hashlib.sha256(key + b"active").digest()[:8], "big")
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(self.n_servers, size=self.n_active, replace=False)
+        result = frozenset(int(c) for c in chosen)
+        self._cache[epoch] = result
+        return result
+
+    def is_active(self, server: int, epoch: int) -> bool:
+        return server in self.active_set(epoch)
+
+    def is_honeypot(self, server: int, epoch: int) -> bool:
+        if not 0 <= server < self.n_servers:
+            raise ValueError(f"server index {server} out of range")
+        return server not in self.active_set(epoch)
+
+
+class BernoulliSchedule(EpochClock):
+    """One server, honeypot with i.i.d. probability ``p`` per epoch.
+
+    This is the analytical model's Bernoulli-trial abstraction; it also
+    drives the string-topology validation runs.  The per-epoch coin is
+    a hash of (seed, epoch), so the schedule is deterministic given the
+    seed and O(1) per query.
+    """
+
+    def __init__(
+        self, p: float, epoch_len: float, seed: int = 0, start_time: float = 0.0
+    ) -> None:
+        super().__init__(epoch_len, start_time)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1] (got {p})")
+        self.p = p
+        self.seed = seed
+
+    @property
+    def honeypot_probability(self) -> float:
+        return self.p
+
+    def is_honeypot(self, server: int, epoch: int) -> bool:
+        if epoch < 1:
+            raise ValueError(f"epoch indices are 1-based (got {epoch})")
+        digest = hashlib.sha256(f"{self.seed}:{epoch}".encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        return u < self.p
+
+    def is_active(self, server: int, epoch: int) -> bool:
+        return not self.is_honeypot(server, epoch)
+
+    def active_set(self, epoch: int) -> FrozenSet[int]:
+        return frozenset() if self.is_honeypot(0, epoch) else frozenset({0})

@@ -1,0 +1,76 @@
+"""Server-side request handling with handshake-verified blacklisting.
+
+The roaming honeypots scheme's original defense (Section 4, before
+back-propagation is added): a server acting as a honeypot answers
+connection requests with a SYN-ACK; only sources that complete the
+handshake — proving their address is not spoofed — are blacklisted,
+and all their future requests are dropped.  Spoofed sources never
+complete the handshake, so spoofing cannot frame third parties.
+
+Used standalone, this stops *non-spoofing* attackers; the paper's
+contribution (back-propagation) handles the spoofing ones.  Both can
+run side by side on the same server pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.node import Host
+from ..sim.packet import Packet, PacketKind
+from .blacklist import Blacklist
+from .roaming import RoamingServerPool
+
+__all__ = ["BlacklistingServerApp"]
+
+
+class BlacklistingServerApp:
+    """Honeypot-epoch handshake trap + blacklist enforcement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: Host,
+        server_index: int,
+        pool: RoamingServerPool,
+        blacklist: Optional[Blacklist] = None,
+        synack_size: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.server_index = server_index
+        self.pool = pool
+        self.blacklist = blacklist if blacklist is not None else Blacklist()
+        self.synack_size = synack_size
+        self.served = 0
+        self.dropped_blacklisted = 0
+        self.synacks_sent = 0
+        server.on_deliver(self._on_packet)
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketKind.CONTROL:
+            return
+        now = self.sim.now
+        # Blacklist enforcement applies in every role.
+        if self.blacklist.is_blacklisted(pkt.src):
+            self.dropped_blacklisted += 1
+            return
+        if not self.pool.is_honeypot_now(self.server_index, now):
+            self.served += 1
+            return
+        # Honeypot role: trap handshakes instead of serving.
+        if pkt.kind == PacketKind.SYN:
+            if self.blacklist.on_syn(pkt.src, now):
+                reply = Packet(
+                    self.server.addr,
+                    pkt.src,
+                    self.synack_size,
+                    kind=PacketKind.SYNACK,
+                    created_at=now,
+                )
+                self.server.originate(reply)
+                self.synacks_sent += 1
+        elif pkt.kind == PacketKind.ACK:
+            self.blacklist.on_ack(pkt.src, now)

@@ -1,0 +1,33 @@
+"""ACC/Pushback baseline defense and max–min rate allocation."""
+
+from .aggregate import AggregateSignature, DropHistory, identify_aggregates
+from .levelk import hop_by_hop_allocation, leaf_shares, levelk_allocation
+from .protocol import (
+    PushbackAgent,
+    PushbackConfig,
+    PushbackRelease,
+    PushbackRequest,
+    PushbackStatus,
+)
+from .ratelimit import (
+    AggregateRateLimiter,
+    maxmin_allocation,
+    maxmin_allocation_map,
+)
+
+__all__ = [
+    "AggregateRateLimiter",
+    "AggregateSignature",
+    "DropHistory",
+    "PushbackAgent",
+    "PushbackConfig",
+    "PushbackRelease",
+    "PushbackRequest",
+    "PushbackStatus",
+    "hop_by_hop_allocation",
+    "identify_aggregates",
+    "leaf_shares",
+    "levelk_allocation",
+    "maxmin_allocation",
+    "maxmin_allocation_map",
+]

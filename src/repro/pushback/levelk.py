@@ -1,0 +1,129 @@
+"""Level-k max–min fairness (related-work mitigation, Section 2).
+
+Level-k max–min fairness (Yau et al., cited as [5]) addresses the
+drawback of Pushback's *hop-by-hop* max–min: instead of splitting a
+rate limit equally among the immediate input ports at every router,
+the victim's limit is divided max–min among all routers exactly ``k``
+hops upstream (level k of the traceback tree), which weights each
+branch by its position rather than compounding per-hop splits.
+
+We provide the allocation computation over an explicit traceback tree,
+plus a comparison helper against hop-by-hop Pushback splitting — used
+by the ablation benchmark to show that level-k improves on hop-by-hop
+max–min but (as the paper notes) "is still ineffective against highly
+dispersed attackers".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+import networkx as nx
+
+from .ratelimit import maxmin_allocation_map
+
+__all__ = ["levelk_allocation", "hop_by_hop_allocation", "leaf_shares"]
+
+
+def _level_nodes(tree: nx.DiGraph, root: Hashable, k: int) -> List[Hashable]:
+    """Nodes exactly k hops from the root in a downstream->upstream tree."""
+    lengths = nx.single_source_shortest_path_length(tree, root)
+    return [n for n, d in lengths.items() if d == k]
+
+
+def _subtree_demand(
+    tree: nx.DiGraph, node: Hashable, demands: Mapping[Hashable, float]
+) -> float:
+    """Total demand of the leaves under (and including) ``node``."""
+    total = demands.get(node, 0.0)
+    for child in tree.successors(node):
+        total += _subtree_demand(tree, child, demands)
+    return total
+
+
+def levelk_allocation(
+    tree: nx.DiGraph,
+    root: Hashable,
+    demands: Mapping[Hashable, float],
+    limit: float,
+    k: int,
+) -> Dict[Hashable, float]:
+    """Max–min allocation of ``limit`` among the level-k routers.
+
+    ``tree`` is the traceback tree oriented from the victim-side root
+    toward the sources; ``demands`` maps leaves (end hosts) to their
+    arrival rates.  Returns the per-level-k-node allocation.  Each
+    level-k node's demand is the total demand of its subtree.
+    """
+    if limit < 0:
+        raise ValueError("limit must be >= 0")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    level = _level_nodes(tree, root, k)
+    if not level:
+        return {}
+    node_demands = {n: _subtree_demand(tree, n, demands) for n in level}
+    return maxmin_allocation_map(limit, node_demands)
+
+
+def hop_by_hop_allocation(
+    tree: nx.DiGraph,
+    root: Hashable,
+    demands: Mapping[Hashable, float],
+    limit: float,
+) -> Dict[Hashable, float]:
+    """Pushback-style compounded per-hop max–min split down to leaves.
+
+    At each router, the router's allocated limit is split max–min among
+    its children by their subtree demands; recursion bottoms out at the
+    leaves.  Returns per-leaf allocations.
+    """
+    result: Dict[Hashable, float] = {}
+
+    def recurse(node: Hashable, node_limit: float) -> None:
+        children = list(tree.successors(node))
+        if not children:
+            result[node] = min(node_limit, demands.get(node, 0.0))
+            return
+        child_demands = {c: _subtree_demand(tree, c, demands) for c in children}
+        shares = maxmin_allocation_map(node_limit, child_demands)
+        for child, share in shares.items():
+            recurse(child, share)
+
+    recurse(root, limit)
+    return result
+
+
+def leaf_shares(
+    tree: nx.DiGraph,
+    root: Hashable,
+    demands: Mapping[Hashable, float],
+    limit: float,
+    k: int,
+) -> Tuple[Dict[Hashable, float], Dict[Hashable, float]]:
+    """(hop-by-hop leaf shares, level-k leaf shares) for comparison.
+
+    For level-k, each level-k node's allocation is divided among its
+    subtree's leaves hop-by-hop below level k (the scheme only changes
+    the split *at* level k).
+    """
+    hbh = hop_by_hop_allocation(tree, root, demands, limit)
+    lvl = levelk_allocation(tree, root, demands, limit, k)
+    lvl_leaves: Dict[Hashable, float] = {}
+
+    def recurse(node: Hashable, node_limit: float) -> None:
+        children = list(tree.successors(node))
+        if not children:
+            lvl_leaves[node] = min(node_limit, demands.get(node, 0.0))
+            return
+        child_demands = {c: _subtree_demand(tree, c, demands) for c in children}
+        shares = maxmin_allocation_map(node_limit, child_demands)
+        for child, share in shares.items():
+            recurse(child, share)
+
+    for node, alloc in lvl.items():
+        recurse(node, alloc)
+    # Leaves above level k (closer than k hops) keep their hop-by-hop share.
+    for leaf, share in hbh.items():
+        lvl_leaves.setdefault(leaf, share)
+    return hbh, lvl_leaves

@@ -1,0 +1,385 @@
+"""Pushback: hop-by-hop propagation of aggregate rate limits.
+
+Implements the ACC/Pushback baseline the paper compares against
+(Mahajan et al., cited as [27]/[15]):
+
+1. **Local ACC** — each router watches its output channels' drop
+   rates.  When a channel's drop rate exceeds the congestion threshold,
+   the router identifies destination aggregates from the channel's
+   recent drop history and installs local rate limits sized so the
+   post-limit arrival matches the channel capacity with a margin.
+2. **Pushback** — a router that is rate-limiting an aggregate measures
+   each input port's contribution and divides the aggregate's limit
+   among contributing inputs in max–min fashion, then asks each
+   upstream *router* neighbor to enforce its share (hop-by-hop,
+   TTL-authenticated).  Upstream routers recurse up to a depth limit.
+3. **Refresh / status / release** — requests soft-state-expire unless
+   refreshed; upstream sessions report policed rates downstream in
+   status messages; when congestion ends and upstream policing ceases,
+   limits are released.
+
+The hop-by-hop max–min split is deliberately blind to how many end
+hosts sit behind each port — reproducing the collateral-damage
+behaviour of Figs. 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..crypto.auth import ttl_authenticated
+from ..sim.engine import Simulator
+from ..sim.link import Channel
+from ..sim.node import Host, Router
+from ..sim.packet import Packet
+from .aggregate import DropHistory, identify_aggregates
+from .ratelimit import AggregateRateLimiter, maxmin_allocation_map
+
+__all__ = [
+    "PushbackConfig",
+    "PushbackRequest",
+    "PushbackRelease",
+    "PushbackStatus",
+    "PushbackAgent",
+]
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PushbackRequest:
+    """Ask the upstream neighbor to police ``dst`` traffic to ``limit_bps``."""
+
+    dst: int
+    limit_bps: float
+    depth: int
+    msg_type: str = field(default="pb_request", init=False)
+
+
+@dataclass(frozen=True)
+class PushbackRelease:
+    """Tear down the upstream rate-limit session for ``dst``."""
+
+    dst: int
+    msg_type: str = field(default="pb_release", init=False)
+
+
+@dataclass(frozen=True)
+class PushbackStatus:
+    """Upstream -> downstream report of the rate policed for ``dst``."""
+
+    dst: int
+    policed_bps: float
+    msg_type: str = field(default="pb_status", init=False)
+
+
+@dataclass
+class PushbackConfig:
+    """Tuning knobs of the ACC/Pushback baseline."""
+
+    review_interval: float = 2.0
+    congestion_threshold: float = 0.1  # drop fraction declaring congestion
+    target_margin: float = 0.1  # aim for (1 - margin) * capacity after limiting
+    min_aggregate_share: float = 0.1
+    max_aggregates: int = 5
+    max_depth: int = 16  # pushback propagation depth (reaches access routers)
+    session_expiry: float = 6.0  # soft-state lifetime without refresh
+    status_interval: float = 2.0
+    # Release a local episode after this many consecutive quiet reviews
+    # (no local drops and no upstream policing reported).
+    release_after_quiet: int = 3
+    control_packet_size: int = 64
+
+
+# ----------------------------------------------------------------------
+# Per-router session state
+# ----------------------------------------------------------------------
+class _LocalEpisode:
+    """A locally detected congestion episode for one aggregate dst."""
+
+    __slots__ = ("dst", "limit_bps", "started", "quiet_reviews", "pushed_to")
+
+    def __init__(self, dst: int, limit_bps: float, started: float) -> None:
+        self.dst = dst
+        self.limit_bps = limit_bps
+        self.started = started
+        self.quiet_reviews = 0
+        # Upstream router addrs we sent requests to (for releases).
+        self.pushed_to: set[int] = set()
+
+
+class _UpstreamSession:
+    """State for a limit this router enforces on behalf of downstream."""
+
+    __slots__ = ("dst", "limit_bps", "requester", "expires", "depth", "pushed_to")
+
+    def __init__(
+        self, dst: int, limit_bps: float, requester: int, expires: float, depth: int
+    ) -> None:
+        self.dst = dst
+        self.limit_bps = limit_bps
+        self.requester = requester
+        self.expires = expires
+        self.depth = depth
+        self.pushed_to: set[int] = set()
+
+
+class PushbackAgent:
+    """ACC + Pushback agent attached to one router."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        config: Optional[PushbackConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.router = router
+        self.config = config or PushbackConfig()
+        self.limiter = AggregateRateLimiter(sim)
+        # Always-on per-destination arrival accounting (bytes since the
+        # last review) — cheap: one dict update per forwarded packet.
+        self._dst_bytes: Dict[int, int] = {}
+        # Per-output-channel drop history + last counter snapshots.
+        self._histories: Dict[Channel, DropHistory] = {}
+        self._last_counts: Dict[Channel, tuple[int, int]] = {}
+        self.episodes: Dict[int, _LocalEpisode] = {}
+        self.upstream_sessions: Dict[int, _UpstreamSession] = {}
+        # dst -> policed bps reported by upstream neighbors (addr -> bps).
+        self._upstream_policed: Dict[int, Dict[int, float]] = {}
+        self.control_messages_sent = 0
+
+        router.add_ingress_hook(self._hook)
+        for ch in router.out_channels:
+            hist = DropHistory()
+            self._histories[ch] = hist
+            ch.drop_hook = self._make_drop_hook(hist)
+            self._last_counts[ch] = (0, 0)
+        router.control_handlers["pb_request"] = self._on_request
+        router.control_handlers["pb_release"] = self._on_release
+        router.control_handlers["pb_status"] = self._on_status
+        sim.every(self.config.review_interval, self._review)
+        sim.every(self.config.status_interval, self._send_status)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def _make_drop_hook(self, hist: DropHistory):
+        sim = self.sim
+
+        def on_drop(pkt: Packet) -> None:
+            hist.record(sim.now, pkt)
+
+        return on_drop
+
+    def _hook(self, pkt: Packet, in_channel) -> bool:
+        b = self._dst_bytes
+        b[pkt.dst] = b.get(pkt.dst, 0) + pkt.size
+        return self.limiter.hook(pkt, in_channel)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _send(self, dst_addr: int, msg) -> None:
+        self.router.send_control(
+            dst_addr, msg, size=self.config.control_packet_size
+        )
+        self.control_messages_sent += 1
+
+    def _on_request(self, pkt: Packet, in_channel) -> None:
+        if not ttl_authenticated(pkt.ttl):
+            return  # reject: not from a direct neighbor
+        msg: PushbackRequest = pkt.payload
+        now = self.sim.now
+        sess = self.upstream_sessions.get(msg.dst)
+        if sess is None:
+            sess = _UpstreamSession(
+                msg.dst, msg.limit_bps, pkt.src, now + self.config.session_expiry,
+                msg.depth,
+            )
+            self.upstream_sessions[msg.dst] = sess
+        else:
+            sess.limit_bps = msg.limit_bps
+            sess.requester = pkt.src
+            sess.expires = now + self.config.session_expiry
+            sess.depth = msg.depth
+        self.limiter.set_limit(msg.dst, msg.limit_bps, now)
+
+    def _on_release(self, pkt: Packet, in_channel) -> None:
+        if not ttl_authenticated(pkt.ttl):
+            return
+        msg: PushbackRelease = pkt.payload
+        self._teardown_upstream(msg.dst)
+
+    def _on_status(self, pkt: Packet, in_channel) -> None:
+        msg: PushbackStatus = pkt.payload
+        per_peer = self._upstream_policed.setdefault(msg.dst, {})
+        per_peer[pkt.src] = msg.policed_bps
+
+    def _teardown_upstream(self, dst: int) -> None:
+        sess = self.upstream_sessions.pop(dst, None)
+        if sess is None:
+            return
+        # Only remove the limiter if no local episode also polices dst.
+        if dst not in self.episodes:
+            self.limiter.remove_limit(dst)
+        for peer in sess.pushed_to:
+            self._send(peer, PushbackRelease(dst))
+        self._upstream_policed.pop(dst, None)
+
+    def _send_status(self) -> None:
+        """Report policed rates to downstream requesters.
+
+        The report aggregates this router's own policing with whatever
+        its upstream neighbors reported, so the congested router keeps
+        its episode alive even when the policing happens many hops up.
+        """
+        for dst, sess in self.upstream_sessions.items():
+            local = (
+                self.limiter.take_policed_bytes(dst)
+                * 8.0
+                / self.config.status_interval
+            )
+            upstream = sum(self._upstream_policed.get(dst, {}).values())
+            self._send(sess.requester, PushbackStatus(dst, local + upstream))
+
+    # ------------------------------------------------------------------
+    # Periodic review: detection, limit computation, propagation
+    # ------------------------------------------------------------------
+    def _review(self) -> None:
+        now = self.sim.now
+        cfg = self.config
+        dst_bytes = self._dst_bytes
+        self._dst_bytes = {}
+
+        congested_channels = []
+        for ch, hist in self._histories.items():
+            sent, dropped = ch.packets_sent, ch.packets_dropped
+            last_sent, last_dropped = self._last_counts[ch]
+            self._last_counts[ch] = (sent, dropped)
+            arrivals = (sent - last_sent) + (dropped - last_dropped)
+            if arrivals == 0:
+                continue
+            drop_rate = (dropped - last_dropped) / arrivals
+            if drop_rate > cfg.congestion_threshold:
+                congested_channels.append((ch, hist))
+
+        # --- Local ACC on congested channels --------------------------
+        for ch, hist in congested_channels:
+            counts = hist.counts_since(now - cfg.review_interval)
+            aggregates = identify_aggregates(
+                counts, cfg.min_aggregate_share, cfg.max_aggregates
+            )
+            if not aggregates:
+                continue
+            agg_dsts = [a.dst for a in aggregates]
+            # Arrival rates (bps) of traffic routed to this channel.
+            route_to = self.router.route_to
+            total_bps = 0.0
+            agg_bps: Dict[int, float] = {}
+            for dst, nbytes in dst_bytes.items():
+                if route_to(dst) is ch:
+                    bps = nbytes * 8.0 / cfg.review_interval
+                    total_bps += bps
+                    if dst in agg_dsts:
+                        agg_bps[dst] = bps
+            if not agg_bps:
+                continue
+            other_bps = total_bps - sum(agg_bps.values())
+            budget = max(0.0, ch.bandwidth_bps * (1.0 - cfg.target_margin) - other_bps)
+            shares = maxmin_allocation_map(budget, agg_bps)
+            for dst, limit in shares.items():
+                ep = self.episodes.get(dst)
+                if ep is None:
+                    ep = _LocalEpisode(dst, limit, now)
+                    self.episodes[dst] = ep
+                else:
+                    ep.limit_bps = limit
+                ep.quiet_reviews = 0
+                self.limiter.set_limit(dst, limit, now)
+
+        # --- Propagate local episodes upstream (refresh each review) --
+        for ep in list(self.episodes.values()):
+            self._push_upstream(ep.dst, ep.limit_bps, cfg.max_depth, ep)
+
+        # --- Propagate on behalf of downstream (upstream sessions) ----
+        for sess in list(self.upstream_sessions.values()):
+            if now > sess.expires:
+                self._teardown_upstream(sess.dst)
+                continue
+            if sess.depth > 0:
+                self._push_upstream(sess.dst, sess.limit_bps, sess.depth, sess)
+
+        # --- Release quiet local episodes ------------------------------
+        for dst, ep in list(self.episodes.items()):
+            if self._episode_quiet(dst, dst_bytes):
+                ep.quiet_reviews += 1
+            else:
+                ep.quiet_reviews = 0
+            if ep.quiet_reviews >= cfg.release_after_quiet:
+                del self.episodes[dst]
+                if dst not in self.upstream_sessions:
+                    self.limiter.remove_limit(dst)
+                for peer in ep.pushed_to:
+                    self._send(peer, PushbackRelease(dst))
+                self._upstream_policed.pop(dst, None)
+
+        self.limiter_reset_all()
+
+    def _episode_quiet(self, dst: int, dst_bytes: Dict[int, int]) -> bool:
+        """No sign of the aggregate misbehaving anymore?
+
+        Not quiet while (a) upstream neighbors report policing, (b) the
+        local rate limiter polices, or (c) the congested queue still
+        drops packets of this aggregate.
+        """
+        policed_upstream = sum(self._upstream_policed.get(dst, {}).values())
+        if policed_upstream > 1e3:  # > ~1 kb/s still policed upstream
+            return False
+        local_policed = (
+            self.limiter.take_policed_bytes(dst)
+            * 8.0
+            / self.config.review_interval
+        )
+        if local_policed > 1e3:
+            return False
+        ch = self.router.route_to(dst)
+        if ch is not None:
+            hist = self._histories.get(ch)
+            if hist is not None and hist.counts_since(
+                self.sim.now - self.config.review_interval
+            ).get(dst, 0) > 0:
+                return False
+        return True
+
+    def _push_upstream(self, dst: int, limit_bps: float, depth: int, sess) -> None:
+        """Split ``limit_bps`` max–min across contributing router inputs."""
+        if depth <= 0:
+            return
+        demands = self.limiter.input_demands_bps(dst, self.config.review_interval)
+        router_demands = {
+            ch: bps
+            for ch, bps in demands.items()
+            if ch is not None and isinstance(ch.src, Router) and bps > 0
+        }
+        if not router_demands:
+            return
+        host_bps = sum(
+            bps for ch, bps in demands.items() if ch is None or isinstance(ch.src, Host)
+        )
+        # Hosts attached directly keep their (locally policed) share;
+        # the rest of the limit is pushed upstream.
+        upstream_budget = max(0.0, limit_bps - min(host_bps, limit_bps * 0.5))
+        shares = maxmin_allocation_map(upstream_budget, router_demands)
+        for ch, share in shares.items():
+            if share <= 0:
+                continue
+            peer = ch.src.addr
+            self._send(peer, PushbackRequest(dst, share, depth - 1))
+            sess.pushed_to.add(peer)
+
+    def limiter_reset_all(self) -> None:
+        for dst in self.limiter.limited_dsts():
+            self.limiter.reset_accounting(dst)

@@ -1,0 +1,32 @@
+"""Related-work baselines the paper compares against (Section 2).
+
+* :mod:`~repro.related.ppm` — probabilistic packet marking traceback
+  (collection cost; compromised-router false positives);
+* :mod:`~repro.related.sos` — SOS overlay indirection latency model;
+* :mod:`~repro.related.mohonk` — mobile honeypots source filtering.
+"""
+
+from .mohonk import AddressSpace, MohonkFilter
+from .ppm import (
+    EdgeMark,
+    PPMResult,
+    PPMRouter,
+    PPMVictim,
+    expected_packets_for_path,
+    simulate_ppm_traceback,
+)
+from .sos import SOSConfig, SOSOverlay, latency_multiplier
+
+__all__ = [
+    "AddressSpace",
+    "EdgeMark",
+    "MohonkFilter",
+    "PPMResult",
+    "PPMRouter",
+    "PPMVictim",
+    "SOSConfig",
+    "SOSOverlay",
+    "expected_packets_for_path",
+    "latency_multiplier",
+    "simulate_ppm_traceback",
+]

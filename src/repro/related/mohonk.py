@@ -1,0 +1,101 @@
+"""Mobile honeypots (Mohonk) — related-work prevention baseline.
+
+Section 2: "The Mohonk, or mobile honeypots, scheme propagates unused
+addresses using BGP options, so that (spoofed) packets with matching
+source addresses can be safely dropped.  Our scheme makes it difficult
+for attackers to discover and avoid sending traffic to unused
+addresses."
+
+We model the address-space mechanics: a pool of unused prefixes is
+advertised; a router drops any packet whose *source* falls in an
+advertised unused prefix.  Effectiveness against random spoofing
+equals the advertised fraction of the address space — and an attacker
+that learns the advertised set evades entirely, which is why Mohonk
+rotates the set (and why roaming honeypots camouflage theirs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import numpy as np
+
+__all__ = ["AddressSpace", "MohonkFilter"]
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """A flat address space [0, size) partitioned into equal blocks."""
+
+    size: int = 1 << 20
+    block: int = 1 << 10
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.block <= 0 or self.size % self.block:
+            raise ValueError("size must be a positive multiple of block")
+
+    @property
+    def n_blocks(self) -> int:
+        return self.size // self.block
+
+    def block_of(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            raise ValueError(f"address {addr} outside the space")
+        return addr // self.block
+
+
+class MohonkFilter:
+    """Drops packets whose claimed source is an advertised unused block."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        unused_fraction: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= unused_fraction <= 1.0:
+            raise ValueError("unused_fraction must be in [0, 1]")
+        self.space = space
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        n = int(round(unused_fraction * space.n_blocks))
+        self._advertised: Set[int] = set(
+            int(b) for b in self.rng.choice(space.n_blocks, size=n, replace=False)
+        ) if n else set()
+        self.dropped = 0
+        self.passed = 0
+
+    @property
+    def advertised_blocks(self) -> Set[int]:
+        return set(self._advertised)
+
+    def rotate(self) -> None:
+        """Re-draw the advertised set (the 'mobile' part of Mohonk)."""
+        n = len(self._advertised)
+        self._advertised = set(
+            int(b)
+            for b in self.rng.choice(self.space.n_blocks, size=n, replace=False)
+        ) if n else set()
+
+    def check(self, src_addr: int) -> bool:
+        """True = drop (the claimed source is advertised-unused)."""
+        if self.space.block_of(src_addr) in self._advertised:
+            self.dropped += 1
+            return True
+        self.passed += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def catch_rate_random_spoofing(self, samples: int = 10_000) -> float:
+        """Fraction of uniformly spoofed packets dropped (~ advertised
+        fraction of the space)."""
+        drops = 0
+        for _ in range(samples):
+            addr = int(self.rng.integers(self.space.size))
+            if self.space.block_of(addr) in self._advertised:
+                drops += 1
+        return drops / samples
+
+    def catch_rate_informed_attacker(self) -> float:
+        """An attacker that knows the advertised set spoofs around it."""
+        return 0.0

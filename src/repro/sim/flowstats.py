@@ -1,0 +1,130 @@
+"""Per-flow statistics: delivery ratio, latency, jitter.
+
+Complements :mod:`repro.sim.monitor` (aggregate throughput) with
+per-flow measurements — the quantities behind the paper's observation
+that attacks degrade "the throughput of both TCP flows from servers to
+clients as well as data flows from clients into servers" and that
+roaming adds jitter at epoch switches.
+
+Sources tag packets with a ``flow`` label and a ``created_at``
+timestamp (CBRSource already does); a :class:`FlowStats` taps sinks and
+accumulates per-flow counters.  Loss is measured against the sender's
+packet counter via :meth:`expected`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .engine import Simulator
+from .node import Host
+from .packet import Packet, PacketKind
+
+__all__ = ["FlowRecord", "FlowStats"]
+
+
+@dataclass
+class FlowRecord:
+    """Accumulated statistics of one flow."""
+
+    flow: Any
+    delivered: int = 0
+    bytes: int = 0
+    latency_sum: float = 0.0
+    latency_sq_sum: float = 0.0
+    latency_min: float = math.inf
+    latency_max: float = 0.0
+    _last_latency: Optional[float] = field(default=None, repr=False)
+    jitter_sum: float = 0.0
+    jitter_samples: int = 0
+    expected: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def record(self, latency: float, size: int) -> None:
+        self.delivered += 1
+        self.bytes += size
+        self.latency_sum += latency
+        self.latency_sq_sum += latency * latency
+        self.latency_min = min(self.latency_min, latency)
+        self.latency_max = max(self.latency_max, latency)
+        if self._last_latency is not None:
+            self.jitter_sum += abs(latency - self._last_latency)
+            self.jitter_samples += 1
+        self._last_latency = latency
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.delivered if self.delivered else math.nan
+
+    @property
+    def latency_stddev(self) -> float:
+        if self.delivered < 2:
+            return 0.0
+        mean = self.mean_latency
+        var = max(0.0, self.latency_sq_sum / self.delivered - mean * mean)
+        return math.sqrt(var)
+
+    @property
+    def mean_jitter(self) -> float:
+        """Mean absolute latency difference of consecutive deliveries."""
+        return (
+            self.jitter_sum / self.jitter_samples if self.jitter_samples else 0.0
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / expected (nan when the sender count is unknown)."""
+        if not self.expected:
+            return math.nan
+        return self.delivered / self.expected
+
+
+class FlowStats:
+    """Collects per-flow records at a set of sink hosts."""
+
+    def __init__(self, sim: Simulator, sinks: Sequence[Host]) -> None:
+        self.sim = sim
+        self.flows: Dict[Any, FlowRecord] = {}
+        for host in sinks:
+            host.on_deliver(self._on_packet)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketKind.CONTROL or pkt.flow is None:
+            return
+        rec = self.flows.get(pkt.flow)
+        if rec is None:
+            rec = FlowRecord(pkt.flow)
+            self.flows[pkt.flow] = rec
+        rec.record(self.sim.now - pkt.created_at, pkt.size)
+
+    # ------------------------------------------------------------------
+    def set_expected(self, flow: Any, sent: int) -> None:
+        """Register the sender-side packet count for loss accounting."""
+        rec = self.flows.setdefault(flow, FlowRecord(flow))
+        rec.expected = sent
+
+    def flow(self, flow: Any) -> Optional[FlowRecord]:
+        return self.flows.get(flow)
+
+    def by_class(self, prefix: Any) -> List[FlowRecord]:
+        """Flows whose label's first element equals ``prefix``
+        (e.g. all ``("client", ...)`` flows)."""
+        return [
+            rec
+            for flow, rec in self.flows.items()
+            if isinstance(flow, tuple) and flow and flow[0] == prefix
+        ]
+
+    def totals(self) -> Dict[str, float]:
+        delivered = sum(r.delivered for r in self.flows.values())
+        nbytes = sum(r.bytes for r in self.flows.values())
+        lat = [r.mean_latency for r in self.flows.values() if r.delivered]
+        return {
+            "flows": len(self.flows),
+            "delivered": delivered,
+            "bytes": nbytes,
+            "mean_latency": sum(lat) / len(lat) if lat else math.nan,
+        }

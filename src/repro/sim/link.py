@@ -1,0 +1,178 @@
+"""Links: bandwidth + propagation delay + drop-tail buffering.
+
+A :class:`Link` is full-duplex and is modeled as two independent
+simplex :class:`Channel`s, as in ns-2's duplex-link.  Each channel
+serializes packets at its bandwidth, holds packets awaiting
+transmission in a drop-tail queue, and delivers each packet to the far
+node one propagation delay after its last bit is sent.
+
+This module is the simulator's hot path; it avoids allocation beyond
+the unavoidable scheduler entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["Channel", "Link"]
+
+
+class Channel:
+    """Simplex channel from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Transmission rate in bits per second.
+    delay:
+        Propagation delay in seconds.
+    queue_limit:
+        Drop-tail buffer size in packets (awaiting transmission).
+    """
+
+    __slots__ = (
+        "sim",
+        "src",
+        "dst",
+        "bandwidth_bps",
+        "delay",
+        "queue",
+        "_busy",
+        "packets_sent",
+        "bytes_sent",
+        "packets_dropped",
+        "drop_hook",
+        "link",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        bandwidth_bps: float,
+        delay: float,
+        queue_limit: int = 50,
+        queue: Optional[DropTailQueue] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive (got {bandwidth_bps})")
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0 (got {delay})")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay = delay
+        # Pluggable discipline: drop-tail by default, RED on request.
+        self.queue = queue if queue is not None else DropTailQueue(queue_limit)
+        self._busy = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        # Optional observer called as drop_hook(packet) on a tail drop.
+        self.drop_hook: Optional[Callable[[Packet], None]] = None
+        self.link: Optional["Link"] = None  # set by Link
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Hand a packet to the channel; False if it was tail-dropped."""
+        if self._busy:
+            if not self.queue.push(pkt):
+                self.packets_dropped += 1
+                if self.drop_hook is not None:
+                    self.drop_hook(pkt)
+                return False
+            return True
+        self._transmit(pkt)
+        return True
+
+    def _transmit(self, pkt: Packet) -> None:
+        self._busy = True
+        tx_time = pkt.size * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += pkt.size
+        self.sim.schedule(self.delay, self._deliver, pkt)
+        nxt = self.queue.pop()
+        if nxt is not None:
+            self._transmit(nxt)
+        else:
+            self._busy = False
+
+    def _deliver(self, pkt: Packet) -> None:
+        pkt.hops += 1
+        self.dst.receive(pkt, self)
+
+    # ------------------------------------------------------------------
+    @property
+    def utilization_bytes(self) -> int:
+        return self.bytes_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.src.name}->{self.dst.name}, "
+            f"{self.bandwidth_bps/1e6:.2f}Mb/s, {self.delay*1e3:.1f}ms)"
+        )
+
+
+class Link:
+    """Full-duplex link between two nodes (a pair of channels)."""
+
+    __slots__ = ("a", "b", "ab", "ba")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        bandwidth_bps: float,
+        delay: float,
+        queue_limit: int = 50,
+        queue_factory=None,
+    ) -> None:
+        self.a = a
+        self.b = b
+        q_ab = queue_factory() if queue_factory is not None else None
+        q_ba = queue_factory() if queue_factory is not None else None
+        self.ab = Channel(sim, a, b, bandwidth_bps, delay, queue_limit, q_ab)
+        self.ba = Channel(sim, b, a, bandwidth_bps, delay, queue_limit, q_ba)
+        self.ab.link = self
+        self.ba.link = self
+        a.attach(self.ab, self.ba)
+        b.attach(self.ba, self.ab)
+
+    def channel_from(self, node: "Node") -> Channel:
+        """The simplex channel whose sender is ``node``."""
+        if node is self.a:
+            return self.ab
+        if node is self.b:
+            return self.ba
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def channel_to(self, node: "Node") -> Channel:
+        """The simplex channel whose receiver is ``node``."""
+        if node is self.a:
+            return self.ba
+        if node is self.b:
+            return self.ab
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def other(self, node: "Node") -> "Node":
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.a.name} <-> {self.b.name})"

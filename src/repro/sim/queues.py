@@ -1,0 +1,228 @@
+"""Queueing disciplines and rate limiters.
+
+The paper's ns-2 model uses drop-tail FIFO queues on all links; the
+Pushback baseline additionally rate-limits *aggregates* (traffic
+matching a signature) with what amounts to a token-bucket policer at
+the output queue.  Both are implemented here, plus a small windowed
+drop-rate estimator used by ACC's congestion detector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .packet import Packet
+
+__all__ = ["DropTailQueue", "REDQueue", "TokenBucket", "DropRateEstimator"]
+
+
+class DropTailQueue:
+    """Bounded FIFO queue; arrivals to a full queue are dropped.
+
+    Capacity is in packets, matching ns-2's default ``Queue/DropTail``
+    accounting (the paper's CBR packets are fixed-size, so packet and
+    byte limits are equivalent).
+    """
+
+    __slots__ = ("limit", "_q", "enqueued", "dropped")
+
+    def __init__(self, limit: int = 50) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1 (got {limit})")
+        self.limit = limit
+        self._q: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.limit
+
+    def push(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt``; returns False (and counts a drop) if full."""
+        if len(self._q) >= self.limit:
+            self.dropped += 1
+            return False
+        self._q.append(pkt)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Dequeue the head packet, or None if empty."""
+        if self._q:
+            return self._q.popleft()
+        return None
+
+    def clear(self) -> None:
+        self._q.clear()
+
+
+class REDQueue(DropTailQueue):
+    """Random Early Detection queue (ns-2 style, packet-count based).
+
+    Keeps an EWMA of the queue length; arrivals are dropped early with
+    probability ramping from 0 at ``min_th`` to ``max_p`` at ``max_th``
+    (and always beyond ``max_th``), using the standard count-since-
+    last-drop correction so drops are spread out rather than bursty.
+    The physical limit still backstops as a tail drop.
+    """
+
+    __slots__ = ("min_th", "max_th", "max_p", "weight", "avg", "_count", "_rng",
+                 "early_drops")
+
+    def __init__(
+        self,
+        limit: int = 50,
+        min_th: Optional[float] = None,
+        max_th: Optional[float] = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(limit)
+        self.min_th = limit * 0.25 if min_th is None else min_th
+        self.max_th = limit * 0.75 if max_th is None else max_th
+        if not 0 <= self.min_th < self.max_th <= limit:
+            raise ValueError(
+                f"need 0 <= min_th < max_th <= limit "
+                f"(got {self.min_th}, {self.max_th}, {limit})"
+            )
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p must be in (0, 1] (got {max_p})")
+        if not 0 < weight <= 1:
+            raise ValueError(f"weight must be in (0, 1] (got {weight})")
+        self.max_p = max_p
+        self.weight = weight
+        self.avg = 0.0
+        self._count = 0
+        # Local deterministic RNG: RED's drop coin must not perturb any
+        # shared experiment stream.
+        import random as _random
+
+        self._rng = _random.Random(seed)
+        self.early_drops = 0
+
+    def push(self, pkt: Packet) -> bool:
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * len(self._q)
+        if self.avg >= self.max_th:
+            drop = True
+        elif self.avg > self.min_th:
+            p_b = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            # Count correction: p_a = p_b / (1 - count * p_b).
+            denom = max(1e-9, 1.0 - self._count * p_b)
+            p_a = min(1.0, p_b / denom)
+            drop = self._rng.random() < p_a
+            self._count = 0 if drop else self._count + 1
+        else:
+            drop = False
+            self._count = 0
+        if drop:
+            self.dropped += 1
+            self.early_drops += 1
+            return False
+        if len(self._q) >= self.limit:
+            self.dropped += 1
+            return False
+        self._q.append(pkt)
+        self.enqueued += 1
+        return True
+
+
+class TokenBucket:
+    """Token-bucket rate limiter.
+
+    Tokens accumulate at ``rate_bps`` bits/second up to ``burst_bits``.
+    :meth:`admit` is called with the current time and a packet size and
+    returns whether the packet conforms.  Non-conforming packets are
+    dropped by the caller (policing, not shaping), which is what
+    Pushback's rate limiter does to an aggregate.
+    """
+
+    __slots__ = ("rate_bps", "burst_bits", "_tokens", "_last", "admitted", "policed")
+
+    def __init__(self, rate_bps: float, burst_bits: Optional[float] = None) -> None:
+        if rate_bps < 0:
+            raise ValueError(f"rate must be >= 0 (got {rate_bps})")
+        self.rate_bps = rate_bps
+        # Default burst: 4 full-size (1500 B) packets or 10 ms of rate,
+        # whichever is larger — enough not to starve a single conformant
+        # CBR flow at the configured rate.
+        if burst_bits is None:
+            burst_bits = max(4 * 1500 * 8.0, rate_bps * 0.01)
+        self.burst_bits = burst_bits
+        self._tokens = burst_bits
+        self._last = 0.0
+        self.admitted = 0
+        self.policed = 0
+
+    def set_rate(self, now: float, rate_bps: float) -> None:
+        """Change the policing rate, crediting tokens earned so far."""
+        self._credit(now)
+        self.rate_bps = max(0.0, rate_bps)
+
+    def _credit(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(
+                self.burst_bits, self._tokens + (now - self._last) * self.rate_bps
+            )
+            self._last = now
+
+    def admit(self, now: float, size_bytes: int) -> bool:
+        """True if a packet of ``size_bytes`` conforms at time ``now``."""
+        self._credit(now)
+        bits = size_bytes * 8
+        if self._tokens >= bits:
+            self._tokens -= bits
+            self.admitted += 1
+            return True
+        self.policed += 1
+        return False
+
+
+class DropRateEstimator:
+    """Sliding-window estimator of a queue's drop rate.
+
+    ACC declares congestion when the drop rate over a recent window
+    exceeds a threshold.  We record arrival/drop counts per window and
+    expose the drop fraction of the last completed window, which is how
+    the ns-2 Pushback module estimates it.
+    """
+
+    __slots__ = ("window", "_window_start", "_arrivals", "_drops", "last_rate", "last_arrivals")
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive (got {window})")
+        self.window = window
+        self._window_start = 0.0
+        self._arrivals = 0
+        self._drops = 0
+        self.last_rate = 0.0
+        self.last_arrivals = 0
+
+    def _roll(self, now: float) -> None:
+        while now - self._window_start >= self.window:
+            if self._arrivals > 0:
+                self.last_rate = self._drops / self._arrivals
+            else:
+                self.last_rate = 0.0
+            self.last_arrivals = self._arrivals
+            self._arrivals = 0
+            self._drops = 0
+            self._window_start += self.window
+
+    def record(self, now: float, dropped: bool) -> None:
+        """Record one packet arrival (and whether it was dropped)."""
+        self._roll(now)
+        self._arrivals += 1
+        if dropped:
+            self._drops += 1
+
+    def rate(self, now: float) -> float:
+        """Drop fraction over the last completed window."""
+        self._roll(now)
+        return self.last_rate

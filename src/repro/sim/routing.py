@@ -1,0 +1,88 @@
+"""Static shortest-path routing.
+
+The paper's topologies are trees (unique paths), so static
+shortest-path routing computed once at build time is exact.  We use
+networkx BFS/Dijkstra over the topology graph and install, at every
+node, a next-hop channel for every destination.
+
+For large topologies installing all-pairs routes is the dominant setup
+cost, so :func:`install_routes` computes a BFS tree *per destination
+set* (servers + hosts that actually receive traffic) rather than
+all-pairs when ``targets`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from .link import Link
+from .node import Node
+
+__all__ = ["install_routes", "path_hops"]
+
+
+def _link_index(links: Iterable[Link]) -> Dict[Tuple[int, int], Link]:
+    index: Dict[Tuple[int, int], Link] = {}
+    for link in links:
+        index[(link.a.id, link.b.id)] = link
+        index[(link.b.id, link.a.id)] = link
+    return index
+
+
+def install_routes(
+    graph: nx.Graph,
+    nodes: Dict[int, Node],
+    links: Iterable[Link],
+    targets: Optional[Iterable[int]] = None,
+    weight: Optional[str] = None,
+) -> None:
+    """Install next-hop routes at every node.
+
+    Parameters
+    ----------
+    graph:
+        Topology graph whose node labels are node IDs.
+    nodes:
+        node id -> :class:`Node` instance.
+    links:
+        The :class:`Link` objects realizing the graph's edges.
+    targets:
+        If given, only routes toward these destinations are installed
+        (sufficient when all traffic flows to a known server pool and
+        control replies flow back to routers — include both).  If
+        None, all-pairs routes are installed.
+    weight:
+        Optional edge attribute to use as path cost (default: hop count).
+    """
+    index = _link_index(links)
+    target_list = list(targets) if targets is not None else list(graph.nodes)
+    for dst in target_list:
+        if dst not in graph:
+            raise ValueError(f"target {dst} not in topology graph")
+        # Predecessor map of the shortest-path tree rooted at dst: for
+        # each node, its next hop toward dst.
+        if weight is None:
+            preds = nx.predecessor(graph, dst)
+        else:
+            _, paths = nx.single_source_dijkstra(graph, dst, weight=weight)
+            # paths[n] is [dst, ..., n]; n's next hop toward dst is the
+            # node just before n on that path.
+            preds = {
+                n: [p[-2]] if len(p) > 1 else [] for n, p in paths.items()
+            }
+        for node_id, next_hops in preds.items():
+            if node_id == dst or not next_hops:
+                continue
+            nh = next_hops[0]
+            link = index.get((node_id, nh))
+            if link is None:
+                raise ValueError(f"no Link object for edge ({node_id}, {nh})")
+            node = nodes[node_id]
+            node.routes[dst] = link.channel_from(node)
+
+
+def path_hops(graph: nx.Graph, src: int, dst: int) -> int:
+    """Hop count of the (unique, for trees) shortest path src -> dst."""
+    return nx.shortest_path_length(graph, src, dst)

@@ -1,0 +1,161 @@
+"""Structured event tracing (ns-2 trace-file equivalent).
+
+A :class:`Tracer` taps nodes and channels and records structured
+events — packet delivery, drops, filtering, control messages — with
+timestamps, supporting filtered queries and a compact text rendering.
+Useful for debugging defenses and for the examples' narratives; the
+hot path pays nothing unless a tap is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from .engine import Simulator
+from .link import Channel
+from .node import Host, Node
+from .packet import Packet
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    time: float
+    kind: str  # deliver | drop | control | filtered
+    where: str  # node or channel name
+    src: int
+    dst: int
+    size: int
+    detail: str = ""
+
+    def render(self) -> str:
+        extra = f" {self.detail}" if self.detail else ""
+        return (
+            f"{self.time:10.4f} {self.kind:8s} @{self.where:12s} "
+            f"{self.src}->{self.dst} {self.size}B{extra}"
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from tapped components."""
+
+    def __init__(self, sim: Simulator, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.sim = sim
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.overflowed = False
+
+    # ------------------------------------------------------------------
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.overflowed = True
+            return
+        self.events.append(event)
+
+    def tap_host(self, host: Host) -> None:
+        """Trace every packet delivered at ``host``.
+
+        Data packets come through the delivery handlers; control
+        packets are dispatched separately by the host, so the control
+        dispatcher is wrapped too.
+        """
+
+        def on_deliver(pkt: Packet) -> None:
+            detail = f"flow={pkt.flow}" if pkt.flow else ""
+            self._record(
+                TraceEvent(self.sim.now, "deliver", host.name, pkt.src,
+                           pkt.dst, pkt.size, detail)
+            )
+
+        host.on_deliver(on_deliver)
+
+        original_dispatch = host._dispatch_control
+
+        def dispatch(pkt: Packet, in_channel) -> None:
+            self._record(
+                TraceEvent(
+                    self.sim.now, "control", host.name, pkt.src, pkt.dst,
+                    pkt.size, getattr(pkt.payload, "msg_type", "") or "",
+                )
+            )
+            original_dispatch(pkt, in_channel)
+
+        host._dispatch_control = dispatch  # type: ignore[method-assign]
+
+    def tap_channel_drops(self, channel: Channel) -> None:
+        """Trace tail/early drops on one channel."""
+        name = f"{channel.src.name}->{channel.dst.name}"
+        previous = channel.drop_hook
+
+        def on_drop(pkt: Packet) -> None:
+            self._record(
+                TraceEvent(self.sim.now, "drop", name, pkt.src, pkt.dst, pkt.size)
+            )
+            if previous is not None:
+                previous(pkt)
+
+        channel.drop_hook = on_drop
+
+    def tap_node_filter(self, node: Node) -> None:
+        """Trace packets consumed by a router's ingress hooks.
+
+        Wraps each hook currently installed; hooks added *after* the
+        tap are not traced (tap last, after attaching the defense).
+        """
+        hooks = getattr(node, "ingress_hooks", None)
+        if hooks is None:
+            raise TypeError(f"{node!r} has no ingress hooks (not a router)")
+
+        tracer = self
+
+        def wrap(hook):
+            def wrapped(pkt: Packet, in_channel) -> bool:
+                verdict = hook(pkt, in_channel)
+                if verdict:
+                    tracer._record(
+                        TraceEvent(
+                            tracer.sim.now, "filtered", node.name,
+                            pkt.src, pkt.dst, pkt.size,
+                        )
+                    )
+                return verdict
+
+            return wrapped
+
+        hooks[:] = [wrap(h) for h in hooks]
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        where: Optional[str] = None,
+        since: float = 0.0,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Query traced events."""
+        out: Iterable[TraceEvent] = self.events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if where is not None:
+            out = (e for e in out if e.where == where)
+        out = (e for e in out if e.time >= since)
+        if predicate is not None:
+            out = (e for e in out if predicate(e))
+        return list(out)
+
+    def render(self, limit: int = 50) -> str:
+        lines = [e.render() for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.overflowed:
+            lines.append("[tracer overflowed: events were discarded]")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,109 @@
+"""AS-level topology for inter-AS honeypot back-propagation.
+
+Inter-AS back-propagation (Section 5.1) operates on the graph of
+Autonomous Systems: honeypot sessions propagate from the victim
+server's home AS upstream through *transit* ASs until they reach
+*non-transit* (stub) ASs hosting attack machines, where intra-AS
+back-propagation takes over.
+
+We generate a random AS graph as a tree of transit ASs (random
+recursive tree — a standard toy model of the AS hierarchy) with stub
+ASs hanging off the transit nodes, plus one stub AS hosting the victim
+server pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["ASTopology", "build_as_topology"]
+
+
+@dataclass
+class ASTopology:
+    """AS graph with a designated victim AS.
+
+    Node attributes: ``transit`` (bool).  Paths between ASs are the
+    unique tree paths (the generator produces a tree, mirroring the
+    provider hierarchy seen from one vantage point).
+    """
+
+    graph: nx.Graph
+    victim_as: int
+    transit_ases: List[int] = field(default_factory=list)
+    stub_ases: List[int] = field(default_factory=list)
+
+    def is_transit(self, asn: int) -> bool:
+        return bool(self.graph.nodes[asn]["transit"])
+
+    def path_from_victim(self, asn: int) -> List[int]:
+        """AS path from the victim's AS to ``asn`` (inclusive)."""
+        return nx.shortest_path(self.graph, self.victim_as, asn)
+
+    def hops_from_victim(self, asn: int) -> int:
+        return nx.shortest_path_length(self.graph, self.victim_as, asn)
+
+    def upstream_neighbor(self, asn: int, toward: int) -> int:
+        """Next AS on the path from ``asn`` toward ``toward``."""
+        path = nx.shortest_path(self.graph, asn, toward)
+        if len(path) < 2:
+            raise ValueError(f"{asn} and {toward} are the same AS")
+        return path[1]
+
+    def depth_histogram(self) -> Dict[int, int]:
+        """Stub-AS distance-from-victim histogram."""
+        hist: Dict[int, int] = {}
+        for asn in self.stub_ases:
+            d = self.hops_from_victim(asn)
+            hist[d] = hist.get(d, 0) + 1
+        return dict(sorted(hist.items()))
+
+
+def build_as_topology(
+    n_transit: int = 20,
+    n_stubs: int = 40,
+    rng: np.random.Generator | None = None,
+) -> ASTopology:
+    """Sample an AS-level topology.
+
+    Parameters
+    ----------
+    n_transit:
+        Number of transit ASs (random recursive tree; AS 1 is the
+        victim's provider).
+    n_stubs:
+        Number of stub (non-transit) ASs attached to uniformly random
+        transit ASs.  Attack hosts live in stub ASs.
+    """
+    if n_transit < 1:
+        raise ValueError("need at least one transit AS")
+    if n_stubs < 0:
+        raise ValueError("n_stubs must be >= 0")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    g = nx.Graph()
+    victim_as = 0
+    g.add_node(victim_as, transit=False)
+    transit = []
+    for i in range(n_transit):
+        asn = 1 + i
+        g.add_node(asn, transit=True)
+        if i == 0:
+            g.add_edge(victim_as, asn)
+        else:
+            parent = transit[int(rng.integers(len(transit)))]
+            g.add_edge(asn, parent)
+        transit.append(asn)
+    stubs = []
+    for j in range(n_stubs):
+        asn = 1 + n_transit + j
+        g.add_node(asn, transit=False)
+        parent = transit[int(rng.integers(len(transit)))]
+        g.add_edge(asn, parent)
+        stubs.append(asn)
+    return ASTopology(
+        graph=g, victim_as=victim_as, transit_ases=transit, stub_ases=stubs
+    )

@@ -1,0 +1,75 @@
+"""Empirical distributions for topology generation.
+
+The paper's simulation topology is "a tree with hop-count and
+router-degree distributions shown in Fig. 7 ... roughly matching those
+of measured trees".  We encode histograms with the same qualitative
+shapes: a unimodal hop-count distribution centered near 10 hops, and a
+heavy-tailed node-degree distribution (most interior routers have
+degree 2–3, few have high fan-out), as in measured Internet trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EmpiricalDistribution",
+    "PAPER_HOP_COUNT_DIST",
+    "PAPER_NODE_DEGREE_DIST",
+]
+
+
+class EmpiricalDistribution:
+    """A discrete distribution over integer values with given weights."""
+
+    def __init__(self, values: Sequence[int], weights: Sequence[float]) -> None:
+        if len(values) != len(weights):
+            raise ValueError("values and weights must have equal length")
+        if len(values) == 0:
+            raise ValueError("distribution must be non-empty")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.values = np.asarray(values, dtype=int)
+        self.probs = w / total
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one value (size=None) or an array of values."""
+        return rng.choice(self.values, size=size, p=self.probs)
+
+    def mean(self) -> float:
+        return float(np.dot(self.values, self.probs))
+
+    def pmf(self) -> Dict[int, float]:
+        """Value -> probability mapping."""
+        return {int(v): float(p) for v, p in zip(self.values, self.probs)}
+
+    def histogram(self, samples: Sequence[int]) -> Dict[int, int]:
+        """Count occurrences of each support value in ``samples``."""
+        counts = {int(v): 0 for v in self.values}
+        for s in samples:
+            counts[int(s)] = counts.get(int(s), 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EmpiricalDistribution(support={self.values.tolist()})"
+
+
+# Hop count from a leaf to the tree root (Fig. 7, left): unimodal,
+# centered around 10, support roughly 5..15.
+PAPER_HOP_COUNT_DIST = EmpiricalDistribution(
+    values=list(range(5, 16)),
+    weights=[2, 5, 10, 17, 24, 28, 24, 17, 10, 5, 2],
+)
+
+# Interior-router child fan-out (Fig. 7, right): heavy-tailed; most
+# routers have small degree, a few have large fan-out.
+PAPER_NODE_DEGREE_DIST = EmpiricalDistribution(
+    values=list(range(1, 11)),
+    weights=[34, 26, 15, 9, 6, 4, 2.5, 1.7, 1.1, 0.7],
+)

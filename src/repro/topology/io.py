@@ -1,0 +1,94 @@
+"""Topology (de)serialization.
+
+Experiments should be shareable: a generated tree (or AS graph) can be
+saved to JSON and re-loaded bit-identically, so a collaborator can
+re-run a figure on exactly the topology that produced it rather than
+re-sampling from the distributions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import networkx as nx
+
+from .tree import TreeParams, TreeTopology
+
+__all__ = ["save_tree", "load_tree", "graph_to_dict", "graph_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: nx.Graph) -> dict:
+    """JSON-safe dict of an annotated topology graph."""
+    return {
+        "nodes": [
+            {"id": int(n), **{k: _plain(v) for k, v in data.items()}}
+            for n, data in graph.nodes(data=True)
+        ],
+        "edges": [
+            {"a": int(a), "b": int(b), **{k: _plain(v) for k, v in data.items()}}
+            for a, b, data in graph.edges(data=True)
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> nx.Graph:
+    g = nx.Graph()
+    for node in payload["nodes"]:
+        attrs = {k: v for k, v in node.items() if k != "id"}
+        g.add_node(int(node["id"]), **attrs)
+    for edge in payload["edges"]:
+        attrs = {k: v for k, v in edge.items() if k not in ("a", "b")}
+        g.add_edge(int(edge["a"]), int(edge["b"]), **attrs)
+    return g
+
+
+def _plain(value):
+    """Coerce numpy scalars to JSON-native types."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def save_tree(topo: TreeTopology, path: Union[str, Path]) -> None:
+    """Write a tree topology (graph + metadata) to a JSON file."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "kind": "tree",
+        "graph": graph_to_dict(topo.graph),
+        "params": {
+            k: _plain(v) for k, v in vars(topo.params).items()
+        },
+        "root_id": topo.root_id,
+        "server_router_id": topo.server_router_id,
+        "server_ids": list(topo.server_ids),
+        "leaf_ids": list(topo.leaf_ids),
+        "access_router_of": {str(k): v for k, v in topo.access_router_of.items()},
+        "leaf_depth": {str(k): v for k, v in topo.leaf_depth.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_tree(path: Union[str, Path]) -> TreeTopology:
+    """Load a tree topology saved by :func:`save_tree`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "tree":
+        raise ValueError(f"not a tree topology file: {path}")
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported topology format {payload.get('format')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return TreeTopology(
+        graph=graph_from_dict(payload["graph"]),
+        params=TreeParams(**payload["params"]),
+        root_id=payload["root_id"],
+        server_router_id=payload["server_router_id"],
+        server_ids=list(payload["server_ids"]),
+        leaf_ids=list(payload["leaf_ids"]),
+        access_router_of={int(k): v for k, v in payload["access_router_of"].items()},
+        leaf_depth={int(k): v for k, v in payload["leaf_depth"].items()},
+    )

@@ -1,0 +1,86 @@
+"""String (chain) topology for model validation.
+
+"To focus on the attack path, we use a string topology with one server
+at one end and an attacker at the other end" (Section 8.2).  The
+attacker is ``h`` router hops away from the server:
+
+    server -- R1 -- R2 -- ... -- Rh -- attacker
+
+R1 is the server's access router and Rh is the attacker's access
+router, so a back-propagating honeypot session must traverse ``h``
+routers to capture the attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import networkx as nx
+
+__all__ = ["StringTopology", "build_string_topology"]
+
+
+@dataclass
+class StringTopology:
+    """A server—routers—attacker chain and its annotated graph."""
+
+    graph: nx.Graph
+    server_id: int
+    attacker_id: int
+    router_ids: List[int] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        """Router hops between server and attacker."""
+        return len(self.router_ids)
+
+    @property
+    def server_access_router(self) -> int:
+        return self.router_ids[0]
+
+    @property
+    def attacker_access_router(self) -> int:
+        return self.router_ids[-1]
+
+
+def build_string_topology(
+    hops: int,
+    bandwidth: float = 10e6,
+    delay: float = 0.010,
+    qlimit: int = 50,
+) -> StringTopology:
+    """Build a chain with ``hops`` routers between server and attacker.
+
+    Parameters
+    ----------
+    hops:
+        Number of routers on the path (the attacker's hop distance
+        ``h`` in the paper's analysis).
+    bandwidth, delay, qlimit:
+        Uniform link parameters for every link on the chain.
+    """
+    if hops < 1:
+        raise ValueError(f"need at least one router on the path (got {hops})")
+    g = nx.Graph()
+    server_id = 0
+    g.add_node(server_id, role="host", name="server")
+    router_ids = []
+    prev = server_id
+    next_id = 1
+    for i in range(hops):
+        rid = next_id
+        next_id += 1
+        g.add_node(rid, role="router", name=f"r{i + 1}")
+        g.add_edge(prev, rid, bandwidth=bandwidth, delay=delay, qlimit=qlimit)
+        router_ids.append(rid)
+        prev = rid
+    attacker_id = next_id
+    g.add_node(attacker_id, role="host", name="attacker")
+    g.add_edge(prev, attacker_id, bandwidth=bandwidth, delay=delay, qlimit=qlimit)
+    return StringTopology(
+        graph=g,
+        server_id=server_id,
+        attacker_id=attacker_id,
+        router_ids=router_ids,
+    )

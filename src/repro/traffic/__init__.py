@@ -1,0 +1,33 @@
+"""Traffic generators: CBR clients, spoofing zombies, on-off attacks."""
+
+from .attacker import (
+    SPOOF_BASE,
+    AttackHost,
+    FollowerAttackHost,
+    make_spoofer,
+)
+from .client import RoamingClientApp, StaticClientApp
+from .session import (
+    CheckpointMsg,
+    MigratingClientApp,
+    ResumeMsg,
+    SessionData,
+    SessionServerApp,
+)
+from .sources import CBRSource, OnOffSource
+
+__all__ = [
+    "AttackHost",
+    "CBRSource",
+    "CheckpointMsg",
+    "FollowerAttackHost",
+    "MigratingClientApp",
+    "OnOffSource",
+    "ResumeMsg",
+    "RoamingClientApp",
+    "SPOOF_BASE",
+    "SessionData",
+    "SessionServerApp",
+    "StaticClientApp",
+    "make_spoofer",
+]

@@ -1,0 +1,127 @@
+"""Legitimate clients under the roaming honeypots scheme.
+
+"At the start of each periodic epoch, each legitimate client selects
+one of the ... active servers uniformly at random and directs its
+traffic into it" (Section 8.3).  Clients compute the active set from
+their subscription key and loosely synchronized clock, so they never
+(modulo the guard bands) send to a honeypot.
+
+For the Pushback / no-defense baselines the paper distributes
+legitimate traffic uniformly over all servers; :class:`StaticClientApp`
+implements that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..honeypots.subscription import ClientSubscription, SubscriptionExpired
+from ..sim.engine import Simulator
+from ..sim.node import Host
+from .sources import CBRSource
+
+__all__ = ["RoamingClientApp", "StaticClientApp"]
+
+
+class RoamingClientApp:
+    """A subscribed client that re-picks an active server each epoch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        subscription: ClientSubscription,
+        server_addrs: Sequence[int],
+        rate_bps: float,
+        rng: np.random.Generator,
+        packet_size: int = 1000,
+        jitter: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.subscription = subscription
+        self.server_addrs = list(server_addrs)
+        self.rng = rng
+        self._current_dst = self.server_addrs[0]
+        self.cbr = CBRSource(
+            sim,
+            host,
+            lambda: self._current_dst,
+            rate_bps,
+            packet_size,
+            flow=("client", host.addr),
+            jitter=jitter,
+            rng=rng,
+        )
+        self.epoch_switches = 0
+        self.renewals = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _pick_server(self) -> None:
+        try:
+            idx = self.subscription.pick_server(self.sim.now, self.rng)
+        except SubscriptionExpired:
+            # Contact the subscription service for a fresh key, then retry.
+            self.subscription.service.renew(self.subscription, self.sim.now)
+            self.renewals += 1
+            idx = self.subscription.pick_server(self.sim.now, self.rng)
+        self._current_dst = self.server_addrs[idx]
+        self.epoch_switches += 1
+
+    def start(self, at: Optional[float] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        when = self.sim.now if at is None else max(at, self.sim.now)
+        self.sim.schedule_at(when, self._begin)
+
+    def _begin(self) -> None:
+        if not self._running:
+            return
+        self._pick_server()
+        self.cbr.start()
+        # Re-pick at each epoch boundary (client-local clock; the small
+        # offset is covered by the server-side guard bands).
+        schedule = self.subscription.service.schedule
+        start, end = schedule.epoch_bounds(schedule.epoch_index(self.sim.now))
+        first_boundary = end - self.subscription.clock_offset
+        self.sim.every(
+            schedule.epoch_len, self._pick_server, start=max(first_boundary, self.sim.now)
+        )
+
+    def stop(self) -> None:
+        self._running = False
+        self.cbr.stop()
+
+    @property
+    def current_server(self) -> int:
+        return self._current_dst
+
+
+class StaticClientApp:
+    """Baseline client: a fixed, uniformly chosen server for the run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        server_addrs: Sequence[int],
+        rate_bps: float,
+        rng: np.random.Generator,
+        packet_size: int = 1000,
+        jitter: float = 0.0,
+    ) -> None:
+        dst = int(server_addrs[int(rng.integers(len(server_addrs)))])
+        self.cbr = CBRSource(
+            sim, host, dst, rate_bps, packet_size,
+            flow=("client", host.addr), jitter=jitter, rng=rng,
+        )
+        self.current_server = dst
+
+    def start(self, at: Optional[float] = None) -> None:
+        self.cbr.start(at)
+
+    def stop(self) -> None:
+        self.cbr.stop()

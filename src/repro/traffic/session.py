@@ -1,0 +1,214 @@
+"""Stateful client sessions that migrate across server roaming.
+
+Section 4: "When server switching occurs in the middle of a connection,
+the connection is migrated to another active server where it is
+resumed ... each active server periodically checkpoints per-connection
+state of current connections and sends the checkpoints to the
+corresponding clients.  Clients send the checkpoints to the new servers
+to resume their connections."
+
+:class:`SessionServerApp` runs on every replica: it acks session data,
+mints integrity-protected checkpoints (shared pool MAC key), and
+resumes connections presented with a valid checkpoint.
+:class:`MigratingClientApp` keeps one long-lived connection going,
+re-attaching to a fresh active server at each epoch boundary with the
+latest checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..honeypots.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+    ConnectionState,
+)
+from ..honeypots.subscription import ClientSubscription, SubscriptionExpired
+from ..sim.engine import Simulator
+from ..sim.node import Host
+from ..sim.packet import Packet
+
+__all__ = ["SessionServerApp", "MigratingClientApp", "SessionData", "CheckpointMsg", "ResumeMsg"]
+
+
+@dataclass(frozen=True)
+class SessionData:
+    """Payload of a session data packet."""
+
+    conn_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    """Server -> client: the latest connection checkpoint."""
+
+    checkpoint: Checkpoint
+    msg_type: str = field(default="session_ckpt", init=False)
+
+
+@dataclass(frozen=True)
+class ResumeMsg:
+    """Client -> new server: resume this connection from a checkpoint."""
+
+    checkpoint: Checkpoint
+    msg_type: str = field(default="session_resume", init=False)
+
+
+class SessionServerApp:
+    """Per-replica session handling: ack, checkpoint, resume."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        manager: CheckpointManager,
+        checkpoint_every: int = 10,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.sim = sim
+        self.host = host
+        self.manager = manager
+        self.checkpoint_every = checkpoint_every
+        self.connections: Dict[int, ConnectionState] = {}
+        self.resumed = 0
+        self.resume_rejected = 0
+        host.on_deliver(self._on_data)
+        host.control_handlers["session_resume"] = self._on_resume
+
+    # ------------------------------------------------------------------
+    def _on_data(self, pkt: Packet) -> None:
+        if not isinstance(pkt.payload, SessionData):
+            return
+        data: SessionData = pkt.payload
+        conn = self.connections.get(data.conn_id)
+        if conn is None:
+            # New connection (or data arriving before the resume): open
+            # fresh state for this client.
+            conn = ConnectionState(data.conn_id, pkt.src)
+            self.connections[data.conn_id] = conn
+        conn.bytes_acked += pkt.size
+        conn.app_state["last_seq"] = data.seq
+        if data.seq % self.checkpoint_every == 0:
+            ckpt = self.manager.checkpoint(conn, self.sim.now)
+            self.host.send_control(conn.client_addr, CheckpointMsg(ckpt))
+
+    def _on_resume(self, pkt: Packet, in_channel) -> None:
+        msg: ResumeMsg = pkt.payload
+        try:
+            conn = self.manager.resume(msg.checkpoint)
+        except CheckpointError:
+            self.resume_rejected += 1
+            return
+        self.connections[conn.conn_id] = conn
+        self.resumed += 1
+
+    def bytes_acked(self, conn_id: int) -> int:
+        conn = self.connections.get(conn_id)
+        return conn.bytes_acked if conn is not None else 0
+
+
+class MigratingClientApp:
+    """A client with one long-lived connection across server roaming."""
+
+    _next_conn_id = 1
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        subscription: ClientSubscription,
+        server_addrs: Sequence[int],
+        rate_bps: float,
+        rng: np.random.Generator,
+        packet_size: int = 1000,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.subscription = subscription
+        self.server_addrs = list(server_addrs)
+        self.rng = rng
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.conn_id = MigratingClientApp._next_conn_id
+        MigratingClientApp._next_conn_id += 1
+        self.seq = 0
+        self.current_server: Optional[int] = None
+        self.latest_checkpoint: Optional[Checkpoint] = None
+        self.migrations = 0
+        self._running = False
+        host.control_handlers["session_ckpt"] = self._on_checkpoint
+
+    # ------------------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        when = self.sim.now if at is None else max(at, self.sim.now)
+        self.sim.schedule_at(when, self._begin)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _begin(self) -> None:
+        if not self._running:
+            return
+        self._attach()
+        interval = self.packet_size * 8.0 / self.rate_bps
+        self.sim.every(interval, self._send_data)
+        schedule = self.subscription.service.schedule
+        _, end = schedule.epoch_bounds(schedule.epoch_index(self.sim.now))
+        self.sim.every(schedule.epoch_len, self._epoch_switch, start=end)
+
+    # ------------------------------------------------------------------
+    def _pick_server(self) -> int:
+        try:
+            idx = self.subscription.pick_server(self.sim.now, self.rng)
+        except SubscriptionExpired:
+            self.subscription.service.renew(self.subscription, self.sim.now)
+            idx = self.subscription.pick_server(self.sim.now, self.rng)
+        return self.server_addrs[idx]
+
+    def _attach(self) -> None:
+        self.current_server = self._pick_server()
+
+    def _epoch_switch(self) -> None:
+        if not self._running:
+            return
+        new_server = self._pick_server()
+        if new_server == self.current_server:
+            return
+        self.current_server = new_server
+        self.migrations += 1
+        # Present the newest checkpoint to the new server so the
+        # connection resumes where it left off.
+        if self.latest_checkpoint is not None:
+            self.host.send_control(new_server, ResumeMsg(self.latest_checkpoint))
+
+    def _send_data(self) -> None:
+        if not self._running or self.current_server is None:
+            return
+        self.seq += 1
+        pkt = Packet(
+            self.host.addr,
+            self.current_server,
+            self.packet_size,
+            flow=("client", self.host.addr),
+            payload=SessionData(self.conn_id, self.seq),
+            created_at=self.sim.now,
+        )
+        self.host.originate(pkt)
+
+    def _on_checkpoint(self, pkt: Packet, in_channel) -> None:
+        msg: CheckpointMsg = pkt.payload
+        if (
+            self.latest_checkpoint is None
+            or msg.checkpoint.minted_at >= self.latest_checkpoint.minted_at
+        ):
+            self.latest_checkpoint = msg.checkpoint

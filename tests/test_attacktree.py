@@ -1,0 +1,109 @@
+"""Tests for traceback-tree reconstruction."""
+
+import networkx as nx
+import pytest
+
+from repro.backprop.attacktree import AttackTreeReport, build_attack_tree
+from repro.backprop.filters import CaptureRecord
+from repro.defense.honeypot_backprop import HoneypotBackpropDefense
+from repro.backprop.intraas import IntraASConfig
+from repro.honeypots.roaming import RoamingServerPool
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.sim.network import Network
+from repro.topology.string import build_string_topology
+from repro.traffic.sources import CBRSource
+
+
+def toy_topology():
+    """server(0) - r1(1) - r2(2) branching to attackers 3 and 4."""
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 3), (2, 4)])
+    return g
+
+
+class TestBuildAttackTree:
+    def records(self):
+        return [
+            CaptureRecord(host_addr=3, access_router_addr=2, time=12.0, honeypot_addr=0),
+            CaptureRecord(host_addr=4, access_router_addr=2, time=15.5, honeypot_addr=0),
+        ]
+
+    def test_tree_structure(self):
+        tree = build_attack_tree(toy_topology(), self.records())
+        assert set(tree.edges) == {(0, 1), (1, 2), (2, 3), (2, 4)}
+        assert tree.nodes[0]["kind"] == "honeypot"
+        assert tree.nodes[1]["kind"] == "router"
+        assert tree.nodes[3]["kind"] == "attacker"
+        assert tree.nodes[3]["captured_at"] == 12.0
+        assert tree.nodes[2]["port_closed"]
+
+    def test_filter_by_honeypot(self):
+        records = self.records() + [
+            CaptureRecord(host_addr=4, access_router_addr=2, time=1.0, honeypot_addr=1)
+        ]
+        tree = build_attack_tree(toy_topology(), records, honeypot_addr=0)
+        assert tree.nodes[4]["captured_at"] == 15.5
+
+    def test_unknown_nodes_rejected(self):
+        bad = [CaptureRecord(host_addr=99, access_router_addr=2, time=1.0, honeypot_addr=0)]
+        with pytest.raises(ValueError):
+            build_attack_tree(toy_topology(), bad)
+
+    def test_empty_captures(self):
+        tree = build_attack_tree(toy_topology(), [])
+        assert tree.number_of_nodes() == 0
+
+
+class TestAttackTreeReport:
+    def make_report(self):
+        records = [
+            CaptureRecord(host_addr=3, access_router_addr=2, time=12.0, honeypot_addr=0),
+            CaptureRecord(host_addr=4, access_router_addr=2, time=15.5, honeypot_addr=0),
+        ]
+        return AttackTreeReport(build_attack_tree(toy_topology(), records))
+
+    def test_node_classification(self):
+        rep = self.make_report()
+        assert rep.attackers == [3, 4]
+        assert rep.honeypots == [0]
+        assert rep.routers_involved == [1, 2]
+        assert rep.closed_ports == [2]
+
+    def test_path_to(self):
+        rep = self.make_report()
+        assert rep.path_to(3) == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            rep.path_to(77)
+
+    def test_branching(self):
+        rep = self.make_report()
+        assert rep.branching_summary() == {2: 2}
+
+    def test_render(self):
+        txt = self.make_report().render()
+        assert "2 attackers captured" in txt
+        assert "0 -> 1 -> 2 -> 3" in txt
+
+
+class TestEndToEnd:
+    def test_tree_from_simulated_capture(self):
+        topo = build_string_topology(4)
+        net = Network.from_graph(topo.graph)
+        net.build_routes(targets=[topo.server_id])
+        schedule = BernoulliSchedule(1.0, 10.0, seed=0)
+        pool = RoamingServerPool(
+            net.sim, [net.nodes[topo.server_id]], schedule, 0.0, 0.0
+        )
+        defense = HoneypotBackpropDefense(
+            pool, net.nodes[topo.server_access_router], IntraASConfig()
+        )
+        defense.attach(net)
+        CBRSource(
+            net.sim, net.nodes[topo.attacker_id], topo.server_id, 1e5, 500
+        ).start(at=1.0)
+        net.run(until=5.0)
+        tree = build_attack_tree(topo.graph, defense.captures)
+        rep = AttackTreeReport(tree)
+        assert rep.attackers == [topo.attacker_id]
+        assert rep.path_to(topo.attacker_id)[0] == topo.server_id
+        assert len(rep.path_to(topo.attacker_id)) == 6  # server + 4 routers + attacker

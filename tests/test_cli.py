@@ -1,0 +1,71 @@
+"""Tests for the CLI and the figure-regeneration functions."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.figures import FIGURES, fig5, fig9, figure
+
+
+class TestFigureFunctions:
+    def test_fig5_text(self):
+        txt = fig5()
+        assert "continuous floor: 27.5 s" in txt
+        assert "t_off=5" in txt and "t_off=10" in txt
+
+    def test_fig9_text(self):
+        txt = fig9()
+        assert "attacker location" in txt
+        assert "N=5, k=3" in txt
+
+    def test_fig7_quick(self):
+        txt = figure("fig7", "quick")
+        assert "hop" in txt.lower()
+        assert "degree" in txt.lower()
+
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            figure("fig99")
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_analyze_progressive_onoff(self, capsys):
+        assert main([
+            "analyze", "--scheme", "progressive",
+            "--t-on", "3", "--t-off", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "onoff" in out and "325.0" in out
+
+    def test_analyze_unbounded(self, capsys):
+        assert main(["analyze", "--scheme", "basic"]) == 0
+        assert "unbounded" in capsys.readouterr().out
+
+    def test_analyze_follower(self, capsys):
+        assert main([
+            "analyze", "--scheme", "progressive", "--d-follow", "2.2",
+        ]) == 0
+        assert "follower" in capsys.readouterr().out
+
+    def test_fig9_command(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "simulation parameters" in capsys.readouterr().out
+
+    def test_scale_choices_validated(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig8", "--scale", "gigantic"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

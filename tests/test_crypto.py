@@ -1,0 +1,111 @@
+"""Tests for hash chains and message authentication."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.auth import KeyRing, SharedKeyAuthenticator, ttl_authenticated
+from repro.crypto.hashchain import HashChain, hash_step
+
+
+class TestHashChain:
+    def test_chain_property(self):
+        chain = HashChain(20)
+        for i in range(1, 20):
+            assert chain.key(i) == hash_step(chain.key(i + 1))
+
+    def test_backward_derivation_matches(self):
+        chain = HashChain(30)
+        k25 = chain.key(25)
+        assert HashChain.derive_backward(k25, 25, 10) == chain.key(10)
+
+    def test_forward_derivation_impossible(self):
+        chain = HashChain(10)
+        with pytest.raises(ValueError):
+            HashChain.derive_backward(chain.key(3), 3, 7)
+
+    def test_verify(self):
+        chain = HashChain(5)
+        assert chain.verify(chain.key(3), 3)
+        assert not chain.verify(b"\x00" * 32, 3)
+        assert not chain.verify(chain.key(3), 4)
+        assert not chain.verify(chain.key(3), 99)
+
+    def test_deterministic_given_anchor(self):
+        anchor = bytes(range(32))
+        a = HashChain(10, anchor)
+        b = HashChain(10, anchor)
+        assert a.key(1) == b.key(1)
+
+    def test_random_anchors_differ(self):
+        assert HashChain(5).key(1) != HashChain(5).key(1)
+
+    def test_bounds(self):
+        chain = HashChain(5)
+        with pytest.raises(IndexError):
+            chain.key(0)
+        with pytest.raises(IndexError):
+            chain.key(6)
+        with pytest.raises(ValueError):
+            HashChain(0)
+        with pytest.raises(ValueError):
+            HashChain(5, b"short")
+
+    @given(
+        length=st.integers(min_value=2, max_value=64),
+        frm=st.integers(min_value=1, max_value=64),
+        to=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_derive_backward_consistent(self, length, frm, to):
+        frm = min(frm, length)
+        to = min(to, frm)
+        chain = HashChain(length, anchor=bytes(32))
+        assert HashChain.derive_backward(chain.key(frm), frm, to) == chain.key(to)
+
+
+class TestSharedKeyAuthenticator:
+    def test_sign_verify_roundtrip(self):
+        auth = SharedKeyAuthenticator(b"k" * 32)
+        fields = ("request", 42, 7)
+        tag = auth.sign(fields)
+        assert auth.verify(fields, tag)
+
+    def test_tampered_fields_rejected(self):
+        auth = SharedKeyAuthenticator(b"k" * 32)
+        tag = auth.sign(("request", 42, 7))
+        assert not auth.verify(("request", 42, 8), tag)
+
+    def test_wrong_key_rejected(self):
+        a = SharedKeyAuthenticator(b"a" * 32)
+        b = SharedKeyAuthenticator(b"b" * 32)
+        tag = a.sign(("x",))
+        assert not b.verify(("x",), tag)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            SharedKeyAuthenticator(b"short")
+
+
+class TestKeyRing:
+    def test_symmetric_pairs(self):
+        ring = KeyRing()
+        ring.establish(1, 2)
+        assert ring.between(1, 2) is ring.between(2, 1)
+
+    def test_establish_idempotent(self):
+        ring = KeyRing()
+        a = ring.establish(3, 4)
+        assert ring.establish(4, 3) is a
+
+    def test_missing_pair(self):
+        ring = KeyRing()
+        assert not ring.has(9, 10)
+        with pytest.raises(KeyError):
+            ring.between(9, 10)
+
+
+class TestTTLAuth:
+    def test_only_255_accepted(self):
+        assert ttl_authenticated(255)
+        assert not ttl_authenticated(254)
+        assert not ttl_authenticated(0)
+        assert not ttl_authenticated(256)

@@ -1,0 +1,91 @@
+"""Unit tests for the defense harness layer."""
+
+import pytest
+
+from repro.defense.base import Defense, NoDefense
+from repro.defense.honeypot_backprop import HoneypotBackpropDefense
+from repro.defense.pushback_defense import PushbackDefense
+from repro.honeypots.roaming import RoamingServerPool
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.sim.network import Network
+from repro.topology.string import build_string_topology
+
+
+def string_net(hops=3):
+    topo = build_string_topology(hops)
+    net = Network.from_graph(topo.graph)
+    net.build_routes(targets=[topo.server_id])
+    return topo, net
+
+
+class TestNoDefense:
+    def test_attach_is_a_noop(self):
+        topo, net = string_net()
+        before = [list(r.ingress_hooks) for r in net.routers()]
+        NoDefense().attach(net)
+        after = [list(r.ingress_hooks) for r in net.routers()]
+        assert before == after
+
+    def test_stats(self):
+        assert NoDefense().stats() == {"defense": "none"}
+
+    def test_is_a_defense(self):
+        assert isinstance(NoDefense(), Defense)
+
+
+class TestPushbackDefense:
+    def test_attach_installs_agent_per_router(self):
+        topo, net = string_net(4)
+        d = PushbackDefense()
+        d.attach(net)
+        assert len(d.agents) == 4
+        assert {a.router for a in d.agents} == set(net.routers())
+
+    def test_stats_keys(self):
+        topo, net = string_net(2)
+        d = PushbackDefense()
+        d.attach(net)
+        stats = d.stats()
+        assert stats["defense"] == "pushback"
+        for key in (
+            "control_messages",
+            "rate_limited_packets",
+            "active_episodes",
+            "active_upstream_sessions",
+        ):
+            assert key in stats
+
+
+class TestHoneypotBackpropDefense:
+    def make(self):
+        topo, net = string_net(3)
+        pool = RoamingServerPool(
+            net.sim,
+            [net.nodes[topo.server_id]],
+            BernoulliSchedule(1.0, 10.0, seed=0),
+            0.0,
+            0.0,
+        )
+        d = HoneypotBackpropDefense(pool, net.nodes[topo.server_access_router])
+        d.attach(net)
+        return topo, net, d
+
+    def test_attach_installs_agents(self):
+        topo, net, d = self.make()
+        assert len(d.router_agents) == 3
+        assert len(d.server_agents) == 1
+
+    def test_capture_helpers_empty_before_attack(self):
+        topo, net, d = self.make()
+        net.run(until=5.0)
+        assert d.capture_times() == {}
+        assert d.captured_hosts() == []
+        assert d.false_captures([topo.attacker_id]) == []
+
+    def test_stats_keys(self):
+        topo, net, d = self.make()
+        stats = d.stats()
+        assert stats["defense"] == "honeypot-backprop"
+        for key in ("captures", "requests_sent", "cancels_sent",
+                    "packets_blocked", "honeypot_hits"):
+            assert key in stats

@@ -1,0 +1,127 @@
+"""Tests for intra-AS traffic diversion to the HSM (Section 5.1)."""
+
+import pytest
+
+from repro.backprop.diversion import (
+    EdgeRouterAgent,
+    HSMHost,
+    announce_diversion,
+    withdraw_diversion,
+)
+from repro.backprop.marking import EdgeRouterMarker
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.packet import Packet
+
+
+def build_as():
+    """Two edge routers (facing ASs 71 and 72) -> core -> server, + HSM.
+
+        ext71 -- e1 \
+                     core -- server
+        ext72 -- e2 /   \
+                         hsm
+    """
+    sim = Simulator()
+    ext71, ext72 = Host(sim, 0, "ext71"), Host(sim, 1, "ext72")
+    e1, e2 = Router(sim, 10, "e1"), Router(sim, 11, "e2")
+    core = Router(sim, 12, "core")
+    server = Host(sim, 20, "server")
+    marker = EdgeRouterMarker()
+    hsm = HSMHost(sim, 30, marker)
+
+    l_ext1 = Link(sim, ext71, e1, 10e6, 0.001)
+    l_ext2 = Link(sim, ext72, e2, 10e6, 0.001)
+    l1 = Link(sim, e1, core, 10e6, 0.001)
+    l2 = Link(sim, e2, core, 10e6, 0.001)
+    l3 = Link(sim, core, server, 10e6, 0.001)
+    l4 = Link(sim, core, hsm, 10e6, 0.001)
+
+    # Static routes.
+    for router, to_core in ((e1, l1), (e2, l2)):
+        router.routes[server.addr] = to_core.channel_from(router)
+        router.routes[hsm.addr] = to_core.channel_from(router)
+    core.routes[server.addr] = l3.channel_from(core)
+    core.routes[hsm.addr] = l4.channel_from(core)
+    ext71.routes[server.addr] = l_ext1.channel_from(ext71)
+    ext72.routes[server.addr] = l_ext2.channel_from(ext72)
+
+    edge1 = EdgeRouterAgent(sim, e1, hsm, marker, upstream_as=71,
+                            external_channels=[l_ext1.channel_to(e1)])
+    edge2 = EdgeRouterAgent(sim, e2, hsm, marker, upstream_as=72,
+                            external_channels=[l_ext2.channel_to(e2)])
+    return sim, (ext71, ext72), (edge1, edge2), server, hsm
+
+
+class TestDiversion:
+    def test_no_diversion_traffic_reaches_server(self):
+        sim, (ext71, _), edges, server, hsm = build_as()
+        ext71.originate(Packet(0, server.addr, 100))
+        sim.run()
+        assert server.packets_received == 1
+        assert hsm.diverted_packets == 0
+
+    def test_diverted_traffic_lands_at_hsm(self):
+        sim, (ext71, _), edges, server, hsm = build_as()
+        announce_diversion(list(edges), server.addr)
+        ext71.originate(Packet(0, server.addr, 100))
+        sim.run()
+        assert server.packets_received == 0
+        assert hsm.diverted_packets == 1
+
+    def test_hsm_identifies_ingress_per_upstream_as(self):
+        sim, (ext71, ext72), edges, server, hsm = build_as()
+        announce_diversion(list(edges), server.addr)
+        for _ in range(3):
+            ext71.originate(Packet(0, server.addr, 100))
+        for _ in range(2):
+            ext72.originate(Packet(1, server.addr, 100))
+        sim.run()
+        assert hsm.ingress_of_honeypot(server.addr) == {71: 3, 72: 2}
+
+    def test_withdraw_restores_forwarding(self):
+        sim, (ext71, _), edges, server, hsm = build_as()
+        announce_diversion(list(edges), server.addr)
+        ext71.originate(Packet(0, server.addr, 100))
+        sim.run()
+        withdraw_diversion(list(edges), server.addr)
+        ext71.originate(Packet(0, server.addr, 100))
+        sim.run()
+        assert server.packets_received == 1
+        assert hsm.diverted_packets == 1
+
+    def test_other_destinations_unaffected(self):
+        sim, (ext71, _), edges, server, hsm = build_as()
+        announce_diversion(list(edges), server.addr)
+        # Traffic to the HSM-unrelated destination 999 is simply
+        # dropped for lack of a route, but never diverted.
+        ext71.routes[999] = ext71.out_channels[0]
+        ext71.originate(Packet(0, 999, 100))
+        sim.run()
+        assert hsm.diverted_packets == 0
+
+    def test_internal_traffic_not_diverted(self):
+        # Packets arriving on non-external channels (intra-AS hosts)
+        # are not honeypot traffic for the *inter*-AS record.
+        sim, (ext71, ext72), (edge1, edge2), server, hsm = build_as()
+        announce_diversion([edge1, edge2], server.addr)
+        # Craft a packet injected at e1 from a non-external channel.
+        e1 = edge1.router
+        e1.receive(Packet(55, server.addr, 100), None)
+        sim.run()
+        assert hsm.diverted_packets == 0
+
+    def test_hsm_reset(self):
+        sim, (ext71, _), edges, server, hsm = build_as()
+        announce_diversion(list(edges), server.addr)
+        ext71.originate(Packet(0, server.addr, 100))
+        sim.run()
+        hsm.reset(server.addr)
+        assert hsm.ingress_of_honeypot(server.addr) == {}
+
+    def test_unmarked_diverted_packet_counted_unidentified(self):
+        sim, (ext71, _), edges, server, hsm = build_as()
+        # Deliver a packet straight to the HSM without a mark.
+        hsm.receive(Packet(0, hsm.addr, 100), None)
+        assert hsm.unidentified_packets == 1

@@ -1,0 +1,107 @@
+"""Tests for per-flow statistics."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.flowstats import FlowRecord, FlowStats
+from repro.sim.link import Link
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.traffic.sources import CBRSource
+
+
+def build():
+    sim = Simulator()
+    a = Host(sim, 0, "a")
+    b = Host(sim, 1, "b")
+    Link(sim, a, b, 1e6, 0.005)
+    stats = FlowStats(sim, [b])
+    return sim, a, b, stats
+
+
+class TestFlowRecord:
+    def test_latency_accumulation(self):
+        rec = FlowRecord(("f", 1))
+        rec.record(0.1, 100)
+        rec.record(0.3, 100)
+        assert rec.delivered == 2
+        assert rec.mean_latency == pytest.approx(0.2)
+        assert rec.latency_min == pytest.approx(0.1)
+        assert rec.latency_max == pytest.approx(0.3)
+        assert rec.mean_jitter == pytest.approx(0.2)
+
+    def test_stddev(self):
+        rec = FlowRecord("f")
+        for lat in (0.1, 0.1, 0.1):
+            rec.record(lat, 1)
+        assert rec.latency_stddev == pytest.approx(0.0, abs=1e-9)
+
+    def test_delivery_ratio(self):
+        rec = FlowRecord("f")
+        rec.record(0.1, 1)
+        assert math.isnan(rec.delivery_ratio)
+        rec.expected = 4
+        assert rec.delivery_ratio == pytest.approx(0.25)
+
+    def test_empty_record(self):
+        rec = FlowRecord("f")
+        assert math.isnan(rec.mean_latency)
+        assert rec.mean_jitter == 0.0
+
+
+class TestFlowStats:
+    def test_collects_from_cbr(self):
+        sim, a, b, stats = build()
+        cbr = CBRSource(sim, a, 1, rate_bps=80_000, packet_size=100, flow=("f", 0))
+        cbr.start(at=0.0)
+        sim.run(until=1.0)
+        rec = stats.flow(("f", 0))
+        assert rec is not None
+        assert rec.delivered > 50
+        # Uncongested latency = tx (0.8 ms) + propagation (5 ms).
+        assert rec.mean_latency == pytest.approx(0.0058, abs=1e-4)
+        assert rec.mean_jitter == pytest.approx(0.0, abs=1e-6)
+
+    def test_loss_accounting(self):
+        sim, a, b, stats = build()
+        cbr = CBRSource(sim, a, 1, rate_bps=80_000, packet_size=100, flow=("f", 0))
+        cbr.start(at=0.0)
+        sim.run(until=1.0)
+        stats.set_expected(("f", 0), cbr.packets_sent)
+        assert stats.flow(("f", 0)).delivery_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_control_and_unlabeled_ignored(self):
+        sim, a, b, stats = build()
+        b.receive(Packet(0, 1, 50, flow=None), None)
+        b.receive(
+            Packet(0, 1, 50, flow=("x", 1), kind="control", payload=None), None
+        )
+        assert stats.flows == {}
+
+    def test_by_class(self):
+        sim, a, b, stats = build()
+        b.receive(Packet(0, 1, 50, flow=("client", 7), created_at=0.0), None)
+        b.receive(Packet(0, 1, 50, flow=("attack", 8), created_at=0.0), None)
+        assert len(stats.by_class("client")) == 1
+        assert stats.by_class("client")[0].flow == ("client", 7)
+
+    def test_totals(self):
+        sim, a, b, stats = build()
+        b.receive(Packet(0, 1, 50, flow=("f", 1), created_at=0.0), None)
+        b.receive(Packet(0, 1, 70, flow=("g", 2), created_at=0.0), None)
+        totals = stats.totals()
+        assert totals["flows"] == 2
+        assert totals["delivered"] == 2
+        assert totals["bytes"] == 120
+
+    def test_queueing_latency_visible(self):
+        # Overload the link: later packets queue and show higher latency.
+        sim, a, b, stats = build()
+        cbr = CBRSource(sim, a, 1, rate_bps=2e6, packet_size=100, flow=("f", 0))
+        cbr.start(at=0.0)
+        sim.run(until=0.5)
+        rec = stats.flow(("f", 0))
+        assert rec.latency_max > rec.latency_min * 2
+        assert rec.mean_jitter > 0

@@ -1,0 +1,347 @@
+"""Tests for the roaming honeypots substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashchain import HashChain
+from repro.honeypots.blacklist import Blacklist
+from repro.honeypots.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    ConnectionState,
+)
+from repro.honeypots.roaming import RoamingServerPool
+from repro.honeypots.schedule import BernoulliSchedule, EpochClock, RoamingSchedule
+from repro.honeypots.subscription import SubscriptionExpired, SubscriptionService
+from repro.sim.engine import Simulator
+from repro.sim.node import Host
+
+
+def make_schedule(n=5, k=3, m=10.0, length=64):
+    return RoamingSchedule(n, k, m, HashChain(length, anchor=bytes(32)))
+
+
+class TestEpochClock:
+    def test_epoch_index(self):
+        clock = EpochClock(10.0)
+        assert clock.epoch_index(0.0) == 1
+        assert clock.epoch_index(9.999) == 1
+        assert clock.epoch_index(10.0) == 2
+
+    def test_epoch_bounds(self):
+        clock = EpochClock(10.0)
+        assert clock.epoch_bounds(3) == (20.0, 30.0)
+
+    def test_start_time_offset(self):
+        clock = EpochClock(5.0, start_time=100.0)
+        assert clock.epoch_index(102.0) == 1
+        with pytest.raises(ValueError):
+            clock.epoch_index(99.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            EpochClock(0.0)
+        with pytest.raises(ValueError):
+            EpochClock(10.0).epoch_bounds(0)
+
+
+class TestRoamingSchedule:
+    def test_active_set_size(self):
+        sched = make_schedule()
+        for epoch in range(1, 20):
+            assert len(sched.active_set(epoch)) == 3
+
+    def test_active_sets_vary_across_epochs(self):
+        sched = make_schedule()
+        sets = {sched.active_set(e) for e in range(1, 30)}
+        assert len(sets) > 1
+
+    def test_honeypot_complement(self):
+        sched = make_schedule()
+        for epoch in range(1, 10):
+            active = sched.active_set(epoch)
+            for s in range(5):
+                assert sched.is_honeypot(s, epoch) == (s not in active)
+
+    def test_honeypot_probability(self):
+        assert make_schedule(5, 3).honeypot_probability == pytest.approx(0.4)
+
+    def test_client_derives_same_set_from_key(self):
+        sched = make_schedule()
+        key = sched.chain.key(7)
+        fresh = make_schedule()
+        assert fresh.active_set_from_key(key, 7) == sched.active_set(7)
+
+    def test_empirical_honeypot_frequency(self):
+        sched = make_schedule(5, 3, length=512)
+        honeypot = sum(sched.is_honeypot(0, e) for e in range(1, 500))
+        assert abs(honeypot / 499 - 0.4) < 0.08
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RoamingSchedule(5, 0, 10.0, HashChain(5))
+        with pytest.raises(ValueError):
+            RoamingSchedule(5, 6, 10.0, HashChain(5))
+
+    def test_server_index_validated(self):
+        sched = make_schedule()
+        with pytest.raises(ValueError):
+            sched.is_honeypot(9, 1)
+
+
+class TestBernoulliSchedule:
+    def test_deterministic(self):
+        a = BernoulliSchedule(0.3, 10.0, seed=5)
+        b = BernoulliSchedule(0.3, 10.0, seed=5)
+        assert [a.is_honeypot(0, e) for e in range(1, 50)] == [
+            b.is_honeypot(0, e) for e in range(1, 50)
+        ]
+
+    def test_frequency_near_p(self):
+        sched = BernoulliSchedule(0.3, 10.0, seed=1)
+        freq = sum(sched.is_honeypot(0, e) for e in range(1, 2000)) / 1999
+        assert abs(freq - 0.3) < 0.03
+
+    def test_p_bounds(self):
+        with pytest.raises(ValueError):
+            BernoulliSchedule(1.5, 10.0)
+        assert not BernoulliSchedule(0.0, 10.0).is_honeypot(0, 1)
+        assert BernoulliSchedule(1.0, 10.0).is_honeypot(0, 1)
+
+    def test_active_set(self):
+        sched = BernoulliSchedule(0.0, 10.0)
+        assert sched.active_set(1) == frozenset({0})
+
+
+class TestRoamingServerPool:
+    def make_pool(self, delta=0.1, gamma=0.2):
+        sim = Simulator()
+        servers = [Host(sim, i) for i in range(5)]
+        sched = make_schedule()
+        return sim, RoamingServerPool(sim, servers, sched, delta, gamma), sched
+
+    def test_active_servers_match_schedule(self):
+        sim, pool, sched = self.make_pool()
+        active = pool.active_servers(epoch=1)
+        assert {pool.server_index(h) for h in active} == set(sched.active_set(1))
+
+    def test_honeypot_window_trimmed_after_active_epoch(self):
+        sim, pool, sched = self.make_pool()
+        # Find a server active in epoch e then honeypot in e+1.
+        for e in range(1, 40):
+            for s in range(5):
+                if sched.is_active(s, e) and sched.is_honeypot(s, e + 1):
+                    start, _ = sched.epoch_bounds(e + 1)
+                    ws, we = pool.honeypot_window(s, e + 1)
+                    assert ws == pytest.approx(start + 0.1 + 0.2)
+                    return
+        pytest.fail("no active->honeypot transition found")
+
+    def test_honeypot_window_trimmed_before_active_epoch(self):
+        sim, pool, sched = self.make_pool()
+        for e in range(1, 40):
+            for s in range(5):
+                if sched.is_honeypot(s, e) and sched.is_active(s, e + 1):
+                    _, end = sched.epoch_bounds(e)
+                    _, we = pool.honeypot_window(s, e)
+                    assert we == pytest.approx(end - 0.1)
+                    return
+        pytest.fail("no honeypot->active transition found")
+
+    def test_active_server_has_empty_window(self):
+        sim, pool, sched = self.make_pool()
+        s = next(iter(sched.active_set(1)))
+        ws, we = pool.honeypot_window(s, 1)
+        assert ws >= we
+
+    def test_is_honeypot_now_respects_guard(self):
+        sim, pool, sched = self.make_pool()
+        for e in range(1, 40):
+            for s in range(5):
+                if sched.is_active(s, e) and sched.is_honeypot(s, e + 1):
+                    start, _ = sched.epoch_bounds(e + 1)
+                    assert not pool.is_honeypot_now(s, start + 0.05)
+                    assert pool.is_honeypot_now(s, start + 0.5)
+                    return
+        pytest.fail("no transition found")
+
+    def test_epoch_listener_fires(self):
+        sim, pool, sched = self.make_pool()
+        events = []
+        pool.on_epoch(lambda e, active: events.append((sim.now, e)))
+        pool.start()
+        sim.run(until=25.0)
+        assert [e for _, e in events] == [1, 2, 3]
+        pool.stop()
+
+    def test_mismatched_pool_size_rejected(self):
+        sim = Simulator()
+        servers = [Host(sim, i) for i in range(3)]
+        with pytest.raises(ValueError):
+            RoamingServerPool(sim, servers, make_schedule())
+
+    def test_negative_guards_rejected(self):
+        sim = Simulator()
+        servers = [Host(sim, i) for i in range(5)]
+        with pytest.raises(ValueError):
+            RoamingServerPool(sim, servers, make_schedule(), delta=-1)
+
+
+class TestSubscription:
+    def make_service(self):
+        chain = HashChain(128, anchor=bytes(32))
+        sched = RoamingSchedule(5, 3, 10.0, chain)
+        return SubscriptionService(sched, chain), sched
+
+    def test_client_computes_correct_active_set(self):
+        service, sched = self.make_service()
+        sub = service.subscribe(0.0, "standard")
+        assert sub.active_servers(25.0) == sched.active_set(3)
+
+    def test_trust_level_horizons(self):
+        service, _ = self.make_service()
+        low = service.subscribe(0.0, "low")
+        high = service.subscribe(0.0, "high")
+        assert high.roaming_key.epoch_limit > low.roaming_key.epoch_limit
+
+    def test_expired_key_raises(self):
+        service, sched = self.make_service()
+        sub = service.subscribe(0.0, "low")  # valid 10 epochs
+        with pytest.raises(SubscriptionExpired):
+            sub.active_servers(500.0)
+
+    def test_renewal_restores_access(self):
+        service, sched = self.make_service()
+        sub = service.subscribe(0.0, "low")
+        service.renew(sub, 500.0)
+        assert sub.active_servers(500.0) == sched.active_set(51)
+
+    def test_unknown_trust_level(self):
+        service, _ = self.make_service()
+        with pytest.raises(ValueError):
+            service.subscribe(0.0, "imperial")
+
+    def test_pick_server_is_active(self):
+        import numpy as np
+
+        service, sched = self.make_service()
+        sub = service.subscribe(0.0)
+        rng = np.random.default_rng(0)
+        for t in (0.0, 15.0, 33.0):
+            idx = sub.pick_server(t, rng)
+            assert idx in sched.active_set(sched.epoch_index(t))
+
+    def test_clock_offset_applied(self):
+        service, sched = self.make_service()
+        sub = service.subscribe(0.0)
+        sub.clock_offset = 0.5
+        assert sub.local_time(10.0) == 10.5
+
+
+class TestBlacklist:
+    def test_full_handshake_blacklists(self):
+        bl = Blacklist(handshake_timeout=3.0)
+        assert bl.on_syn(7, 0.0)
+        assert bl.on_ack(7, 1.0)
+        assert bl.is_blacklisted(7)
+        assert 7 in bl
+
+    def test_spoofed_source_never_blacklisted(self):
+        bl = Blacklist()
+        bl.on_syn(9, 0.0)  # SYN-ACK goes to the spoofed address; no ACK comes
+        assert not bl.is_blacklisted(9)
+
+    def test_late_ack_rejected(self):
+        bl = Blacklist(handshake_timeout=1.0)
+        bl.on_syn(5, 0.0)
+        assert not bl.on_ack(5, 2.0)
+        assert not bl.is_blacklisted(5)
+
+    def test_ack_without_syn_ignored(self):
+        bl = Blacklist()
+        assert not bl.on_ack(4, 0.0)
+
+    def test_no_synack_for_blacklisted(self):
+        bl = Blacklist()
+        bl.on_syn(7, 0.0)
+        bl.on_ack(7, 0.5)
+        assert not bl.on_syn(7, 1.0)
+
+    def test_expire_clears_stale_handshakes(self):
+        bl = Blacklist(handshake_timeout=1.0)
+        bl.on_syn(3, 0.0)
+        bl.expire(5.0)
+        assert bl.pending_count() == 0
+        assert bl.expired == 1
+
+    def test_duplicate_syn_suppressed(self):
+        bl = Blacklist(handshake_timeout=5.0)
+        assert bl.on_syn(2, 0.0)
+        assert not bl.on_syn(2, 1.0)
+
+    def test_len(self):
+        bl = Blacklist()
+        bl.on_syn(1, 0.0)
+        bl.on_ack(1, 0.1)
+        assert len(bl) == 1
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            Blacklist(0.0)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self):
+        mgr = CheckpointManager()
+        conn = ConnectionState(1, 42, bytes_acked=100, app_state={"pos": 7})
+        ckpt = mgr.checkpoint(conn, now=1.0)
+        resumed = mgr.resume(ckpt)
+        assert resumed.conn_id == 1
+        assert resumed.client_addr == 42
+        assert resumed.bytes_acked == 100
+        assert resumed.app_state == {"pos": 7}
+
+    def test_pool_replicas_share_key(self):
+        key = b"p" * 32
+        a = CheckpointManager(key)
+        b = CheckpointManager(key)
+        ckpt = a.checkpoint(ConnectionState(1, 2), now=0.0)
+        assert b.resume(ckpt).conn_id == 1
+
+    def test_tamper_rejected(self):
+        mgr = CheckpointManager()
+        ckpt = mgr.checkpoint(ConnectionState(1, 2, bytes_acked=5), now=0.0)
+        forged = type(ckpt)(
+            snapshot=(1, 2, 999_999, ()), minted_at=ckpt.minted_at, tag=ckpt.tag
+        )
+        with pytest.raises(CheckpointError):
+            mgr.resume(forged)
+        assert mgr.rejected == 1
+
+    def test_foreign_key_rejected(self):
+        a = CheckpointManager(b"a" * 32)
+        b = CheckpointManager(b"b" * 32)
+        ckpt = a.checkpoint(ConnectionState(1, 2), now=0.0)
+        with pytest.raises(CheckpointError):
+            b.resume(ckpt)
+
+    def test_counters(self):
+        mgr = CheckpointManager()
+        ckpt = mgr.checkpoint(ConnectionState(1, 2), now=0.0)
+        mgr.resume(ckpt)
+        assert mgr.minted == 1
+        assert mgr.resumed == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    k=st.integers(min_value=1, max_value=9),
+    epoch=st.integers(min_value=1, max_value=60),
+)
+def test_property_active_set_always_k_of_n(n, k, epoch):
+    k = min(k, n)
+    sched = RoamingSchedule(n, k, 10.0, HashChain(64, anchor=bytes(32)))
+    active = sched.active_set(epoch)
+    assert len(active) == k
+    assert all(0 <= s < n for s in active)

@@ -1,0 +1,138 @@
+"""End-to-end integration tests for scenario behaviours the figures
+don't directly assert."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.backprop.intraas import IntraASConfig
+from repro.defense.honeypot_backprop import HoneypotBackpropDefense
+from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+from repro.honeypots.roaming import RoamingServerPool
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.sim.network import Network
+from repro.topology.string import build_string_topology
+from repro.traffic.sources import CBRSource, OnOffSource
+
+FAST = TreeScenarioParams(
+    n_leaves=30,
+    n_attackers=6,
+    duration=60.0,
+    attack_start=5.0,
+    attack_end=55.0,
+    epoch_len=5.0,
+    defense="honeypot",
+    seed=3,
+)
+
+
+class TestOnOffTreeScenario:
+    def test_onoff_attackers_eventually_captured(self):
+        """Even bursty zombies are captured once a burst overlaps a
+        honeypot window of their target."""
+        res = run_tree_scenario(replace(FAST, t_on=2.0, t_off=3.0))
+        assert len(res.capture_times) >= FAST.n_attackers - 1
+        assert res.false_captures == 0
+
+    def test_onoff_does_less_damage_than_continuous(self):
+        onoff = run_tree_scenario(
+            replace(FAST, defense="none", t_on=2.0, t_off=8.0)
+        )
+        continuous = run_tree_scenario(replace(FAST, defense="none"))
+        assert onoff.legit_pct_during_attack > continuous.legit_pct_during_attack
+
+    def test_onoff_capture_slower_than_continuous(self):
+        onoff = run_tree_scenario(replace(FAST, t_on=1.0, t_off=6.0))
+        continuous = run_tree_scenario(FAST)
+        if onoff.capture_times and continuous.capture_times:
+            mean_onoff = sum(onoff.capture_times.values()) / len(onoff.capture_times)
+            mean_cont = sum(continuous.capture_times.values()) / len(
+                continuous.capture_times
+            )
+            assert mean_onoff >= mean_cont * 0.8
+
+
+class TestBenignProbeTolerance:
+    """Section 5.3: honeypots see benign traffic (probes); requests are
+    only sent when received traffic exceeds a threshold."""
+
+    def build(self, threshold):
+        topo = build_string_topology(4)
+        net = Network.from_graph(topo.graph)
+        net.build_routes(targets=[topo.server_id])
+        # Long epoch so the whole probe sequence falls inside one
+        # honeypot window (no session reset mid-test).
+        pool = RoamingServerPool(
+            net.sim,
+            [net.nodes[topo.server_id]],
+            BernoulliSchedule(1.0, 30.0, seed=0),
+            0.0,
+            0.0,
+        )
+        defense = HoneypotBackpropDefense(
+            pool,
+            net.nodes[topo.server_access_router],
+            IntraASConfig(trigger_threshold=threshold),
+        )
+        defense.attach(net)
+        return topo, net, defense
+
+    def probe(self, net, topo, n_packets, interval=2.0):
+        """A sparse benign prober: n packets, one every `interval` s."""
+        prober = net.nodes[topo.attacker_id]
+        src = CBRSource(
+            net.sim, prober, topo.server_id,
+            rate_bps=500 * 8 / interval, packet_size=500,
+        )
+        src.start(at=1.0)
+        net.sim.schedule_at(1.0 + (n_packets - 0.5) * interval, src.stop)
+
+    def test_sparse_probe_below_threshold_ignored(self):
+        topo, net, defense = self.build(threshold=5)
+        # 3 probes within one epoch: below the threshold of 5.
+        self.probe(net, topo, n_packets=3, interval=2.0)
+        net.run(until=9.0)
+        assert defense.server_agents[0].requests_sent == 0
+        assert not defense.captures
+
+    def test_sustained_traffic_above_threshold_triggers(self):
+        topo, net, defense = self.build(threshold=5)
+        # Threshold (5) + one packet per router hop (4) must arrive.
+        self.probe(net, topo, n_packets=12, interval=1.0)
+        net.run(until=14.0)
+        assert defense.server_agents[0].requests_sent >= 1
+        assert defense.captures
+
+    def test_higher_threshold_trades_speed_for_tolerance(self):
+        topo, net, defense = self.build(threshold=2)
+        self.probe(net, topo, n_packets=14, interval=1.0)
+        net.run(until=16.0)
+        t_low = defense.captures[0].time
+
+        topo2, net2, defense2 = self.build(threshold=7)
+        self.probe(net2, topo2, n_packets=14, interval=1.0)
+        net2.run(until=16.0)
+        t_high = defense2.captures[0].time
+        assert t_high > t_low
+
+
+class TestRoamingOverheadWithoutAttack:
+    def test_no_attack_roaming_costs_little(self):
+        """Under no attack, the roaming scheme serves ~the full offered
+        load (the paper: a few percent overhead, avoidable by enabling
+        roaming only under attack)."""
+        roaming = run_tree_scenario(
+            replace(FAST, n_attackers=0, defense="honeypot",
+                    attack_start=1.0, attack_end=2.0)
+        )
+        static = run_tree_scenario(
+            replace(FAST, n_attackers=0, defense="none",
+                    attack_start=1.0, attack_end=2.0)
+        )
+
+        def steady(res):
+            vals = [v for t, v in zip(res.times, res.legit_pct) if t > 10]
+            return sum(vals) / len(vals)
+
+        assert steady(roaming) > steady(static) - 5.0
+        assert steady(roaming) > 80.0

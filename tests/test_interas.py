@@ -1,0 +1,275 @@
+"""Integration tests for the inter-AS back-propagation engine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.backprop.deployment import DeploymentMap
+from repro.backprop.interas import ASAttackerSpec, InterASBackprop, InterASConfig
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.topology.aslevel import ASTopology, build_as_topology
+
+
+def chain_topology(transit_hops=5):
+    """victim(0) - transit 1..n - stub(n+1)."""
+    n = transit_hops
+    g = nx.path_graph(n + 2)
+    for node in g.nodes:
+        g.nodes[node]["transit"] = 0 < node < n + 1
+    return ASTopology(
+        graph=g,
+        victim_as=0,
+        transit_ases=list(range(1, n + 1)),
+        stub_ases=[n + 1],
+    )
+
+
+def engine(
+    topo,
+    attackers,
+    p=1.0,
+    m=10.0,
+    seed=0,
+    progressive=True,
+    deployment=None,
+    tau=0.5,
+):
+    sched = BernoulliSchedule(p, m, seed=seed)
+    return InterASBackprop(
+        topo,
+        sched,
+        attackers,
+        InterASConfig(tau=tau, per_hop_delay=0.05, intra_as_capture_delay=0.5),
+        progressive=progressive,
+        deployment=deployment,
+    )
+
+
+class TestEmissionModel:
+    def test_continuous_emissions(self):
+        a = ASAttackerSpec(1, 5, rate_pps=10.0)
+        assert a.next_emission(0.0) == 0.0
+        assert a.next_emission(0.01) == pytest.approx(0.1)
+        assert a.next_emission(0.1) == pytest.approx(0.1)
+
+    def test_start_offset(self):
+        a = ASAttackerSpec(1, 5, rate_pps=10.0, start=3.0)
+        assert a.next_emission(0.0) == 3.0
+
+    def test_onoff_emissions_only_in_bursts(self):
+        a = ASAttackerSpec(1, 5, rate_pps=10.0, t_on=1.0, t_off=9.0)
+        assert a.next_emission(0.0) == 0.0
+        # After the burst [0, 1], the next emission is in the next burst.
+        assert a.next_emission(1.2) == pytest.approx(10.0)
+
+    def test_onoff_phase(self):
+        a = ASAttackerSpec(1, 5, rate_pps=10.0, t_on=1.0, t_off=9.0, phase=2.0)
+        assert a.next_emission(0.0) == 2.0
+
+    def test_captured_stops_emitting(self):
+        a = ASAttackerSpec(1, 5, rate_pps=10.0)
+        a.captured_at = 5.0
+        assert a.next_emission(6.0) == float("inf")
+        # The last emission before capture (t=4.9) is still produced.
+        assert a.next_emission(4.85) == pytest.approx(4.9)
+
+    def test_follower_suppression(self):
+        sched = BernoulliSchedule(1.0, 10.0, seed=0)  # always honeypot
+        a = ASAttackerSpec(1, 5, rate_pps=10.0, follower_d=2.0)
+        a._schedule = sched
+        # Before d_follow into the epoch: emitting.
+        assert a.next_emission(0.0) == 0.0
+        assert a.next_emission(1.9) == pytest.approx(1.9)
+        # After d_follow: silent until epoch end... which is another
+        # honeypot epoch, so suppression repeats within it.
+        assert a.next_emission(3.0) >= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ASAttackerSpec(1, 5, rate_pps=0.0)
+        with pytest.raises(ValueError):
+            ASAttackerSpec(1, 5, rate_pps=1.0, t_on=1.0)
+        with pytest.raises(ValueError):
+            ASAttackerSpec(1, 5, rate_pps=1.0, t_on=-1.0, t_off=1.0)
+
+
+class TestBasicVsProgressive:
+    def test_progressive_captures_deep_attacker_basic_cannot(self):
+        # m=10, tau=0.5, rate 10 pps: hop cost 0.6 s; depth 25 needs
+        # ~15 s > m, so the basic scheme can never finish in one epoch.
+        topo = chain_topology(transit_hops=24)
+        stub = topo.stub_ases[0]
+        basic = engine(topo, [ASAttackerSpec(1, stub, 10.0)], p=0.5, seed=3,
+                       progressive=False)
+        basic.run(until=3000.0)
+        assert not basic.captures
+
+        prog = engine(topo, [ASAttackerSpec(1, stub, 10.0)], p=0.5, seed=3,
+                      progressive=True)
+        prog.run(until=3000.0)
+        assert 1 in prog.captures
+
+    def test_basic_captures_shallow_attacker(self):
+        topo = chain_topology(transit_hops=3)
+        stub = topo.stub_ases[0]
+        eng = engine(topo, [ASAttackerSpec(1, stub, 10.0)], p=1.0,
+                     progressive=False)
+        eng.run(until=100.0)
+        assert 1 in eng.captures
+        # With p=1 the first epoch captures: ~h hops * ~0.6 s.
+        assert eng.captures[1] < 10.0
+
+    def test_progressive_uses_frontier_reports(self):
+        topo = chain_topology(transit_hops=24)
+        stub = topo.stub_ases[0]
+        eng = engine(topo, [ASAttackerSpec(1, stub, 10.0)], p=1.0,
+                     progressive=True)
+        eng.run(until=200.0)
+        assert 1 in eng.captures
+        assert eng.messages["reports"] > 0
+        assert eng.messages["resumes"] > 0
+
+    def test_onoff_attacker_progressive(self):
+        topo = chain_topology(transit_hops=8)
+        stub = topo.stub_ases[0]
+        atk = ASAttackerSpec(1, stub, 10.0, t_on=2.0, t_off=8.0, phase=1.0)
+        eng = engine(topo, [atk], p=0.5, seed=7, progressive=True)
+        eng.run(until=5000.0)
+        assert 1 in eng.captures
+
+    def test_captured_attacker_stops(self):
+        topo = chain_topology(transit_hops=2)
+        stub = topo.stub_ases[0]
+        atk = ASAttackerSpec(1, stub, 10.0)
+        eng = engine(topo, [atk], p=1.0)
+        eng.run(until=60.0)
+        assert atk.captured_at == eng.captures[1]
+        assert atk.next_emission(eng.captures[1] + 1.0) == float("inf")
+
+
+class TestMultipleAttackers:
+    def test_all_captured_on_random_topology(self):
+        rng = np.random.default_rng(0)
+        topo = build_as_topology(10, 20, rng)
+        stubs = [topo.stub_ases[i] for i in (0, 5, 9, 13)]
+        attackers = [ASAttackerSpec(i, s, 10.0) for i, s in enumerate(stubs)]
+        eng = engine(topo, attackers, p=0.5, seed=2)
+        eng.run(until=2000.0)
+        assert eng.all_captured
+        assert len(eng.capture_times()) == 4
+
+    def test_attackers_in_same_stub(self):
+        topo = chain_topology(transit_hops=3)
+        stub = topo.stub_ases[0]
+        attackers = [ASAttackerSpec(i, stub, 10.0) for i in range(3)]
+        eng = engine(topo, attackers, p=1.0)
+        eng.run(until=100.0)
+        assert eng.all_captured
+
+
+class TestPartialDeployment:
+    def test_gap_bridged_by_bgp_piggyback(self):
+        topo = chain_topology(transit_hops=5)
+        stub = topo.stub_ases[0]  # asn 6
+        # AS 3 is legacy; everything else deploys.
+        deployment = DeploymentMap({0, 1, 2, 4, 5, 6})
+        eng = engine(topo, [ASAttackerSpec(1, stub, 10.0)], p=1.0,
+                     deployment=deployment)
+        eng.run(until=200.0)
+        assert 1 in eng.captures
+        assert eng.messages["bgp_hops"] > 0
+
+    def test_non_deploying_stub_never_captured(self):
+        topo = chain_topology(transit_hops=3)
+        stub = topo.stub_ases[0]
+        deployment = DeploymentMap({0, 1, 2, 3})  # stub 4 is legacy
+        eng = engine(topo, [ASAttackerSpec(1, stub, 10.0)], p=1.0,
+                     deployment=deployment)
+        eng.run(until=300.0)
+        assert not eng.captures
+
+    def test_full_deployment_uses_no_bgp(self):
+        topo = chain_topology(transit_hops=3)
+        eng = engine(topo, [ASAttackerSpec(1, topo.stub_ases[0], 10.0)], p=1.0)
+        eng.run(until=100.0)
+        assert eng.messages["bgp_hops"] == 0
+
+
+class TestFollowerAttack:
+    def test_follower_with_large_d_still_captured(self):
+        topo = chain_topology(transit_hops=4)
+        stub = topo.stub_ases[0]
+        # d_follow comfortably above the hop cost (0.6 s).
+        atk = ASAttackerSpec(1, stub, 10.0, follower_d=4.0)
+        eng = engine(topo, [atk], p=0.5, seed=5, progressive=True)
+        eng.run(until=5000.0)
+        assert 1 in eng.captures
+
+    def test_follower_slower_than_continuous(self):
+        def run(follower_d):
+            topo = chain_topology(transit_hops=6)
+            stub = topo.stub_ases[0]
+            atk = ASAttackerSpec(1, stub, 10.0, follower_d=follower_d)
+            eng = engine(topo, [atk], p=0.5, seed=11, progressive=True)
+            eng.run(until=20000.0)
+            return eng.captures.get(1)
+
+        cont = run(None)
+        follower = run(2.0)
+        assert cont is not None and follower is not None
+        assert follower >= cont
+
+
+class TestBookkeeping:
+    def test_message_counters_positive(self):
+        topo = chain_topology(transit_hops=3)
+        eng = engine(topo, [ASAttackerSpec(1, topo.stub_ases[0], 10.0)], p=1.0)
+        eng.run(until=60.0)
+        assert eng.messages["requests"] >= 3
+        assert eng.messages["cancels"] >= 1
+
+    def test_no_attack_no_sessions(self):
+        topo = chain_topology(transit_hops=3)
+        eng = engine(topo, [], p=1.0)
+        eng.run(until=50.0)
+        assert eng.messages["requests"] == 0
+
+    def test_hsm_forged_counter_untouched_in_normal_run(self):
+        topo = chain_topology(transit_hops=3)
+        eng = engine(topo, [ASAttackerSpec(1, topo.stub_ases[0], 10.0)], p=1.0)
+        eng.run(until=60.0)
+        assert all(h.state.forged_rejected == 0 for h in eng.hsms.values())
+
+
+class TestFailureInjection:
+    def test_captures_survive_lost_reports(self):
+        """Rule 1 covers lost reports: propagation restarts and capture
+        still happens, just later."""
+        topo = chain_topology(transit_hops=30)
+        stub = topo.stub_ases[0]
+        lossless = InterASBackprop(
+            topo,
+            BernoulliSchedule(0.5, 10.0, seed=4),
+            [ASAttackerSpec(1, stub, 10.0)],
+            InterASConfig(tau=0.5, per_hop_delay=0.05, intra_as_capture_delay=0.5),
+            progressive=True,
+        )
+        lossless.run(until=20000.0)
+        lossy = InterASBackprop(
+            chain_topology(transit_hops=30),
+            BernoulliSchedule(0.5, 10.0, seed=4),
+            [ASAttackerSpec(1, stub, 10.0)],
+            InterASConfig(
+                tau=0.5,
+                per_hop_delay=0.05,
+                intra_as_capture_delay=0.5,
+                report_loss_prob=0.5,
+                loss_seed=9,
+            ),
+            progressive=True,
+        )
+        lossy.run(until=20000.0)
+        assert 1 in lossless.captures
+        assert 1 in lossy.captures
+        assert lossy.messages.get("reports_lost", 0) > 0
+        assert lossy.captures[1] >= lossless.captures[1]

@@ -1,0 +1,168 @@
+"""Tests for the related-work baselines (Section 2 comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.related.mohonk import AddressSpace, MohonkFilter
+from repro.related.ppm import (
+    EdgeMark,
+    PPMRouter,
+    PPMVictim,
+    expected_packets_for_path,
+    simulate_ppm_traceback,
+)
+from repro.related.sos import SOSConfig, SOSOverlay, latency_multiplier
+
+
+class TestPPMRouter:
+    def test_start_marking(self):
+        rng = np.random.default_rng(0)
+        router = PPMRouter(7, q=0.999, rng=rng)
+        mark = router.process(None)
+        assert mark == EdgeMark(7, None, 0)
+
+    def test_edge_completion(self):
+        rng = np.random.default_rng(0)
+        router = PPMRouter(8, q=1e-9, rng=rng)
+        mark = router.process(EdgeMark(7, None, 0))
+        assert mark == EdgeMark(7, 8, 1)
+
+    def test_distance_increment(self):
+        rng = np.random.default_rng(0)
+        router = PPMRouter(9, q=1e-9, rng=rng)
+        mark = router.process(EdgeMark(7, 8, 1))
+        assert mark == EdgeMark(7, 8, 2)
+
+    def test_compromised_router_forges(self):
+        rng = np.random.default_rng(0)
+        router = PPMRouter(9, q=0.04, rng=rng, compromised=True,
+                           forged_edge=(666, 667))
+        mark = router.process(EdgeMark(7, 8, 1))
+        assert mark == EdgeMark(666, 667, 0)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            PPMRouter(1, q=0.0, rng=np.random.default_rng(0))
+
+
+class TestPPMTraceback:
+    PATH = list(range(100, 110))  # 10 routers
+
+    def test_full_path_eventually_collected(self):
+        res = simulate_ppm_traceback(self.PATH, q=0.04,
+                                     rng=np.random.default_rng(1))
+        assert res.packets_needed is not None
+        assert res.true_edges_found == len(self.PATH) - 1
+        assert res.false_edges == 0
+
+    def test_collection_cost_grows_with_path_length(self):
+        short = simulate_ppm_traceback(self.PATH[:4], q=0.04,
+                                       rng=np.random.default_rng(2))
+        long = simulate_ppm_traceback(self.PATH, q=0.04,
+                                      rng=np.random.default_rng(2))
+        assert long.packets_needed > short.packets_needed
+
+    def test_expected_packets_formula(self):
+        # Monotone in d; blows up for small q at long paths.
+        assert expected_packets_for_path(20, 0.04) > expected_packets_for_path(5, 0.04)
+        with pytest.raises(ValueError):
+            expected_packets_for_path(0, 0.04)
+        with pytest.raises(ValueError):
+            expected_packets_for_path(5, 1.5)
+
+    def test_measured_cost_same_order_as_formula(self):
+        costs = [
+            simulate_ppm_traceback(self.PATH, q=0.04,
+                                   rng=np.random.default_rng(s)).packets_needed
+            for s in range(5)
+        ]
+        mean = sum(costs) / len(costs)
+        predicted = expected_packets_for_path(len(self.PATH), 0.04)
+        assert predicted / 5 < mean < predicted * 5
+
+    def test_compromised_router_creates_false_positives(self):
+        res = simulate_ppm_traceback(
+            self.PATH,
+            q=0.04,
+            rng=np.random.default_rng(3),
+            compromised={self.PATH[5]: (666, 667)},
+        )
+        assert res.false_edges >= 1
+        forged = res.reconstructed
+        assert forged.has_edge(667, 666)
+
+    def test_victim_reconstruction(self):
+        victim = PPMVictim()
+        victim.collect(EdgeMark(1, 2, 1))
+        victim.collect(EdgeMark(2, 3, 0))
+        victim.collect(None)
+        g = victim.reconstruct()
+        assert g.has_edge(2, 1)
+        assert g.has_edge(3, 2)
+        assert victim.packets_collected == 3
+
+
+class TestSOS:
+    def test_latency_multiplier_well_above_direct(self):
+        mult = latency_multiplier(rng=np.random.default_rng(0))
+        # The paper: "up to 10 times the direct communication latency".
+        assert 3.0 < mult < 20.0
+
+    def test_multiplier_grows_with_overlay_size(self):
+        small = latency_multiplier(SOSConfig(n_overlay_nodes=16),
+                                   rng=np.random.default_rng(1))
+        big = latency_multiplier(SOSConfig(n_overlay_nodes=4096),
+                                 rng=np.random.default_rng(1))
+        assert big > small
+
+    def test_chord_hops_scale(self):
+        overlay = SOSOverlay(SOSConfig(n_overlay_nodes=1024),
+                             rng=np.random.default_rng(2))
+        hops = [overlay.chord_hops() for _ in range(500)]
+        assert 3 < np.mean(hops) < 8  # ~0.5 log2(1024) = 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SOSOverlay(SOSConfig(n_overlay_nodes=1))
+
+
+class TestMohonk:
+    def test_catch_rate_tracks_advertised_fraction(self):
+        f = MohonkFilter(AddressSpace(), unused_fraction=0.2,
+                         rng=np.random.default_rng(0))
+        rate = f.catch_rate_random_spoofing(samples=5000)
+        assert abs(rate - 0.2) < 0.03
+
+    def test_informed_attacker_evades(self):
+        f = MohonkFilter(AddressSpace(), unused_fraction=0.2,
+                         rng=np.random.default_rng(0))
+        assert f.catch_rate_informed_attacker() == 0.0
+        # Concretely: spoofing only non-advertised blocks never drops.
+        space = f.space
+        safe_block = next(
+            b for b in range(space.n_blocks) if b not in f.advertised_blocks
+        )
+        assert not f.check(safe_block * space.block)
+
+    def test_check_counts(self):
+        f = MohonkFilter(AddressSpace(), unused_fraction=1.0,
+                         rng=np.random.default_rng(0))
+        assert f.check(123)
+        assert f.dropped == 1
+
+    def test_rotation_changes_set(self):
+        f = MohonkFilter(AddressSpace(), unused_fraction=0.1,
+                         rng=np.random.default_rng(1))
+        before = f.advertised_blocks
+        f.rotate()
+        assert f.advertised_blocks != before
+        assert len(f.advertised_blocks) == len(before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressSpace(size=10, block=3)
+        with pytest.raises(ValueError):
+            MohonkFilter(AddressSpace(), unused_fraction=1.5)
+        f = MohonkFilter(AddressSpace(), 0.1)
+        with pytest.raises(ValueError):
+            f.space.block_of(-1)

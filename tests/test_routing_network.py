@@ -1,0 +1,106 @@
+"""Tests for routing and the Network container."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.sim.routing import path_hops
+
+
+def star_graph():
+    g = nx.Graph()
+    g.add_node(0, role="router")
+    for leaf in (1, 2, 3):
+        g.add_node(leaf, role="host")
+        g.add_edge(0, leaf, bandwidth=1e6, delay=0.001, qlimit=10)
+    return g
+
+
+class TestNetworkConstruction:
+    def test_from_graph_roles(self):
+        net = Network.from_graph(star_graph())
+        assert len(net.hosts()) == 3
+        assert len(net.routers()) == 1
+
+    def test_from_graph_link_attributes(self):
+        net = Network.from_graph(star_graph())
+        ch = net.links[0].ab
+        assert ch.bandwidth_bps == 1e6
+        assert ch.delay == 0.001
+
+    def test_unknown_role_rejected(self):
+        g = nx.Graph()
+        g.add_node(0, role="toaster")
+        with pytest.raises(ValueError):
+            Network.from_graph(g)
+
+    def test_duplicate_node_id_rejected(self):
+        net = Network()
+        net.add_host("a", node_id=5)
+        with pytest.raises(ValueError):
+            net.add_host("b", node_id=5)
+
+    def test_link_between(self):
+        net = Network.from_graph(star_graph())
+        r = net.nodes[0]
+        h = net.nodes[1]
+        assert net.link_between(r, h) is not None
+        with pytest.raises(ValueError):
+            net.link_between(net.nodes[1], net.nodes[2])
+
+
+class TestRouting:
+    def test_routes_deliver_across_star(self):
+        net = Network.from_graph(star_graph())
+        net.build_routes()
+        seen = []
+        net.nodes[3].on_deliver(seen.append)
+        net.nodes[1].originate(Packet(1, 3, 100))
+        net.run()
+        assert len(seen) == 1
+
+    def test_targets_limit_route_installation(self):
+        net = Network.from_graph(star_graph())
+        net.build_routes(targets=[3])
+        r = net.nodes[0]
+        assert 3 in r.routes
+        assert 1 not in r.routes
+
+    def test_unknown_target_rejected(self):
+        net = Network.from_graph(star_graph())
+        with pytest.raises(ValueError):
+            net.build_routes(targets=[99])
+
+    def test_path_hops(self):
+        g = nx.path_graph(5)
+        assert path_hops(g, 0, 4) == 4
+
+    def test_routes_on_chain_topology(self):
+        g = nx.Graph()
+        for i in range(4):
+            g.add_node(i, role="host" if i in (0, 3) else "router")
+        for i in range(3):
+            g.add_edge(i, i + 1, bandwidth=1e6, delay=0.001)
+        net = Network.from_graph(g)
+        net.build_routes(targets=[0, 3])
+        seen = []
+        net.nodes[3].on_deliver(seen.append)
+        net.nodes[0].originate(Packet(0, 3, 50))
+        net.run()
+        assert len(seen) == 1
+
+    def test_weighted_routing_prefers_cheap_path(self):
+        # Triangle: 0-1 direct (weight 10) vs 0-2-1 (weights 1+1).
+        g = nx.Graph()
+        for i in range(3):
+            g.add_node(i, role="router")
+        g.add_edge(0, 1, bandwidth=1e6, delay=0.001, cost=10)
+        g.add_edge(0, 2, bandwidth=1e6, delay=0.001, cost=1)
+        g.add_edge(2, 1, bandwidth=1e6, delay=0.001, cost=1)
+        net = Network.from_graph(g)
+        from repro.sim.routing import install_routes
+
+        install_routes(net.graph, net.nodes, net.links, targets=[1], weight="cost")
+        r0 = net.nodes[0]
+        assert r0.routes[1].dst is net.nodes[2]

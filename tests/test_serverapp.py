@@ -1,0 +1,98 @@
+"""Tests for handshake-verified blacklisting in the packet simulator."""
+
+import pytest
+
+from repro.honeypots.roaming import RoamingServerPool
+from repro.honeypots.schedule import BernoulliSchedule
+from repro.honeypots.serverapp import BlacklistingServerApp
+from repro.sim.network import Network
+from repro.sim.packet import Packet, PacketKind
+from repro.topology.string import build_string_topology
+
+
+class HandshakingAttacker:
+    """A non-spoofing attacker that completes TCP-style handshakes."""
+
+    def __init__(self, sim, host, server_addr, interval=0.5):
+        self.sim = sim
+        self.host = host
+        self.server_addr = server_addr
+        self.syns_sent = 0
+        self.acks_sent = 0
+        host.on_deliver(self._on_reply)
+        sim.every(interval, self._send_syn)
+
+    def _send_syn(self):
+        self.host.originate(
+            Packet(self.host.addr, self.server_addr, 64,
+                   kind=PacketKind.SYN, created_at=self.sim.now)
+        )
+        self.syns_sent += 1
+
+    def _on_reply(self, pkt):
+        if pkt.kind == PacketKind.SYNACK:
+            self.host.originate(
+                Packet(self.host.addr, self.server_addr, 64,
+                       kind=PacketKind.ACK, created_at=self.sim.now)
+            )
+            self.acks_sent += 1
+
+
+def build(p=1.0):
+    topo = build_string_topology(3)
+    net = Network.from_graph(topo.graph)
+    # Replies (SYN-ACKs) must route back to the attacker host.
+    net.build_routes(targets=[topo.server_id, topo.attacker_id])
+    server = net.nodes[topo.server_id]
+    pool = RoamingServerPool(
+        net.sim, [server], BernoulliSchedule(p, 10.0, seed=0), 0.0, 0.0
+    )
+    app = BlacklistingServerApp(net.sim, server, 0, pool)
+    return topo, net, server, app
+
+
+class TestBlacklistingServer:
+    def test_handshaking_attacker_gets_blacklisted(self):
+        topo, net, server, app = build(p=1.0)
+        atk = HandshakingAttacker(
+            net.sim, net.nodes[topo.attacker_id], topo.server_id
+        )
+        net.run(until=5.0)
+        assert app.synacks_sent >= 1
+        assert app.blacklist.is_blacklisted(topo.attacker_id)
+        assert app.dropped_blacklisted > 0
+
+    def test_spoofed_syns_never_blacklist_the_victim(self):
+        topo, net, server, app = build(p=1.0)
+        attacker = net.nodes[topo.attacker_id]
+        victim_addr = 777_777  # the address being framed
+        for i in range(10):
+            pkt = Packet(victim_addr, topo.server_id, 64,
+                         true_src=attacker.addr, kind=PacketKind.SYN)
+            net.sim.schedule_at(0.1 * (i + 1), attacker.originate, pkt)
+        net.run(until=20.0)
+        # SYN-ACKs went to an unroutable forged address; no ACK came.
+        assert not app.blacklist.is_blacklisted(victim_addr)
+        assert len(app.blacklist) == 0
+
+    def test_active_server_serves_instead_of_trapping(self):
+        topo, net, server, app = build(p=0.0)  # never a honeypot
+        atk = HandshakingAttacker(
+            net.sim, net.nodes[topo.attacker_id], topo.server_id
+        )
+        net.run(until=3.0)
+        assert app.synacks_sent == 0
+        assert app.served > 0
+        assert len(app.blacklist) == 0
+
+    def test_blacklist_enforced_even_when_active(self):
+        topo, net, server, app = build(p=1.0)
+        # Pre-blacklist the source, then send data.
+        app.blacklist.on_syn(topo.attacker_id, 0.0)
+        app.blacklist.on_ack(topo.attacker_id, 0.1)
+        attacker = net.nodes[topo.attacker_id]
+        net.sim.schedule_at(1.0, attacker.originate,
+                            Packet(attacker.addr, topo.server_id, 100))
+        net.run(until=2.0)
+        assert app.dropped_blacklisted == 1
+        assert app.served == 0

@@ -1,0 +1,128 @@
+"""Tests for session migration across server roaming (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.hashchain import HashChain
+from repro.honeypots.checkpoint import CheckpointManager
+from repro.honeypots.schedule import RoamingSchedule
+from repro.honeypots.subscription import SubscriptionService
+from repro.sim.network import Network
+from repro.traffic.session import (
+    MigratingClientApp,
+    SessionData,
+    SessionServerApp,
+)
+
+
+def build_world(n_servers=5, epoch_len=2.0, seed=0):
+    """Star network: client -- hub router -- N servers."""
+    net = Network()
+    client = net.add_host("client")
+    hub = net.add_router("hub")
+    net.add_link(client, hub, 10e6, 0.001)
+    servers = []
+    for i in range(n_servers):
+        s = net.add_host(f"server{i}")
+        net.add_link(hub, s, 10e6, 0.001)
+        servers.append(s)
+    net.build_routes()
+
+    chain = HashChain(256, anchor=bytes(32))
+    schedule = RoamingSchedule(n_servers, 3, epoch_len, chain)
+    service = SubscriptionService(schedule, chain)
+    pool_key = b"k" * 32
+    apps = [
+        SessionServerApp(net.sim, s, CheckpointManager(pool_key), checkpoint_every=5)
+        for s in servers
+    ]
+    sub = service.subscribe(0.0, "high")
+    client_app = MigratingClientApp(
+        net.sim,
+        client,
+        sub,
+        [s.addr for s in servers],
+        rate_bps=80_000,
+        rng=np.random.default_rng(seed),
+        packet_size=100,
+    )
+    return net, client_app, apps, servers, schedule
+
+
+class TestSessionMigration:
+    def test_data_acked_and_checkpointed(self):
+        net, client, apps, servers, schedule = build_world()
+        client.start(at=0.0)
+        net.run(until=1.9)  # within the first epoch
+        total = sum(app.bytes_acked(client.conn_id) for app in apps)
+        assert total > 0
+        assert client.latest_checkpoint is not None
+
+    def test_connection_state_survives_migration(self):
+        net, client, apps, servers, schedule = build_world(epoch_len=2.0)
+        client.start(at=0.0)
+        net.run(until=30.0)
+        assert client.migrations >= 3
+        # The connection state at the current server reflects bytes
+        # acked across the whole lifetime, not just since the last
+        # migration: the checkpoint carried it over.
+        current = [a for a, s in zip(apps, servers) if s.addr == client.current_server][0]
+        conn = current.connections[client.conn_id]
+        sent_bytes = client.seq * 100
+        # Within checkpoint lag (checkpoint_every=5 packets + transit).
+        assert conn.bytes_acked > sent_bytes * 0.5
+        assert sum(a.resumed for a in apps) >= 1
+
+    def test_resume_with_forged_checkpoint_rejected(self):
+        net, client, apps, servers, schedule = build_world()
+        client.start(at=0.0)
+        net.run(until=1.5)
+        ckpt = client.latest_checkpoint
+        assert ckpt is not None
+        forged = type(ckpt)(
+            snapshot=(client.conn_id, client.host.addr, 10**9, ()),
+            minted_at=ckpt.minted_at,
+            tag=ckpt.tag,
+        )
+        from repro.traffic.session import ResumeMsg
+
+        client.host.send_control(servers[0].addr, ResumeMsg(forged))
+        net.run(until=2.0)
+        assert apps[0].resume_rejected == 1
+
+    def test_client_only_talks_to_active_servers(self):
+        net, client, apps, servers, schedule = build_world()
+        sent = []
+        orig = client.host.originate
+
+        def spy(pkt):
+            if isinstance(pkt.payload, SessionData):
+                sent.append((net.sim.now, pkt.dst))
+            return orig(pkt)
+
+        client.host.originate = spy
+        client.start(at=0.0)
+        net.run(until=10.0)
+        addr_to_idx = {s.addr: i for i, s in enumerate(servers)}
+        for t, dst in sent:
+            epoch = schedule.epoch_index(t)
+            assert addr_to_idx[dst] in schedule.active_set(epoch)
+
+    def test_checkpoint_monotonic(self):
+        net, client, apps, servers, schedule = build_world()
+        client.start(at=0.0)
+        seen = []
+        orig = client._on_checkpoint
+
+        def spy(pkt, ch):
+            orig(pkt, ch)
+            seen.append(client.latest_checkpoint.minted_at)
+
+        client.host.control_handlers["session_ckpt"] = spy
+        net.run(until=6.0)
+        assert seen == sorted(seen)
+
+    def test_invalid_checkpoint_every(self):
+        net, client, apps, servers, schedule = build_world()
+        with pytest.raises(ValueError):
+            SessionServerApp(net.sim, servers[0], CheckpointManager(), 0)

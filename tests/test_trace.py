@@ -1,0 +1,111 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.packet import Packet
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def build():
+    sim = Simulator()
+    a = Host(sim, 0, "a")
+    r = Router(sim, 1, "r")
+    b = Host(sim, 2, "b")
+    l1 = Link(sim, a, r, 8000.0, 0.001, 2)
+    l2 = Link(sim, r, b, 8000.0, 0.001, 2)
+    r.routes[2] = l2.channel_from(r)
+    a.routes[2] = l1.channel_from(a)
+    return sim, a, r, b, l1
+
+
+class TestTracer:
+    def test_deliver_events(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer.tap_host(b)
+        a.originate(Packet(0, 2, 100, flow=("f", 0)))
+        sim.run()
+        events = tracer.filter(kind="deliver")
+        assert len(events) == 1
+        assert events[0].where == "b"
+        assert "flow=" in events[0].detail
+
+    def test_control_events(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer.tap_host(b)
+        b.control_handlers["hello"] = lambda pkt, ch: None
+        a.send_control(2, type("M", (), {"msg_type": "hello"})())
+        sim.run()
+        events = tracer.filter(kind="control")
+        assert events and events[0].detail == "hello"
+        # Data delivery is not double counted as control.
+        assert tracer.filter(kind="deliver") == []
+
+    def test_drop_events(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer.tap_channel_drops(l1.ab)
+        for _ in range(10):
+            l1.ab.send(Packet(0, 2, 1000))
+        sim.run()
+        assert len(tracer.filter(kind="drop")) == 7  # 1 tx + 2 queued
+
+    def test_drop_tap_chains_previous_hook(self):
+        sim, a, r, b, l1 = build()
+        seen = []
+        l1.ab.drop_hook = seen.append
+        tracer = Tracer(sim)
+        tracer.tap_channel_drops(l1.ab)
+        for _ in range(4):
+            l1.ab.send(Packet(0, 2, 1000))
+        assert len(seen) == 1
+        assert len(tracer.filter(kind="drop")) == 1
+
+    def test_filtered_events(self):
+        sim, a, r, b, l1 = build()
+        r.add_ingress_hook(lambda pkt, ch: pkt.dst == 2)
+        tracer = Tracer(sim)
+        tracer.tap_node_filter(r)
+        a.originate(Packet(0, 2, 100))
+        sim.run()
+        assert len(tracer.filter(kind="filtered", where="r")) == 1
+
+    def test_filter_queries(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer._record(TraceEvent(1.0, "drop", "x", 0, 1, 10))
+        tracer._record(TraceEvent(2.0, "deliver", "y", 0, 1, 10))
+        assert len(tracer.filter(since=1.5)) == 1
+        assert len(tracer.filter(predicate=lambda e: e.size == 10)) == 2
+        assert tracer.filter(kind="drop", where="x")[0].time == 1.0
+
+    def test_overflow(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim, max_events=2)
+        for i in range(5):
+            tracer._record(TraceEvent(float(i), "drop", "x", 0, 1, 10))
+        assert len(tracer) == 2
+        assert tracer.overflowed
+        assert "overflowed" in tracer.render()
+
+    def test_render(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer._record(TraceEvent(1.25, "deliver", "b", 3, 4, 99, "flow=x"))
+        txt = tracer.render()
+        assert "deliver" in txt and "3->4" in txt
+
+    def test_tap_non_router_rejected(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        with pytest.raises(TypeError):
+            tracer.tap_node_filter(a)
+
+    def test_invalid_max_events(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Tracer(sim, max_events=0)
