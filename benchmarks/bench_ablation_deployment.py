@@ -80,6 +80,9 @@ def test_ablation_incremental_deployment(benchmark, report):
     )
     report(f"control: attacker in a non-deploying stub AS captured: {legacy_stub_captures}")
     by_frac = {f: (c, r, b) for f, c, r, b in rows}
+    report.metric("captured_at_quarter_deploy", by_frac[0.25][0])
+    report.metric("bgp_hops_at_quarter_deploy", by_frac[0.25][2])
+    report.metric("legacy_stub_captures", legacy_stub_captures)
     # Full deployment: everyone captured, zero piggyback cost.
     assert by_frac[1.0][0] == N_ATTACKERS
     assert by_frac[1.0][2] == 0

@@ -71,6 +71,12 @@ def test_ablation_epoch_edge_protections(benchmark, report):
         )
     )
     by_name = {n: (f, t, h, l) for n, f, t, h, l in rows}
+    report.metric(
+        "default_false_captures", by_name["default (lead=0.3, gamma=0.25)"][0]
+    )
+    report.metric(
+        "no_lead_false_captures", by_name["no early cancel (lead=0)"][0]
+    )
     default = by_name["default (lead=0.3, gamma=0.25)"]
     no_lead = by_name["no early cancel (lead=0)"]
     neither = by_name["neither"]

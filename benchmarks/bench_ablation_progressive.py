@@ -120,6 +120,13 @@ def test_ablation_basic_vs_progressive(benchmark, report):
         )
     )
     by_name = {name: (mean, n, pred) for name, mean, n, pred in rows}
+    report.metric(
+        "progressive_continuous_mean_ct_s",
+        round(by_name["continuous / progressive"][0], 1),
+    )
+    report.metric(
+        "basic_continuous_captured", by_name["continuous / basic"][1]
+    )
     # Basic cannot capture the deep attacker (m < h(1/r + tau)).
     assert by_name["continuous / basic"][1] == 0
     assert by_name["on-off(3,10) / basic"][1] == 0

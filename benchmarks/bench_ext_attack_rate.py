@@ -65,6 +65,15 @@ def test_ext_attack_rate(benchmark, report):
             ["rate", "honeypot %", "none %", "captured", "mean capture (s)"], rows
         )
     )
+    report.metric(
+        "captures_at_1mbps", len(grid[(1.0e6, "honeypot")].capture_times)
+    )
+    report.metric(
+        "honeypot_min_legit_pct",
+        round(
+            min(grid[(r, "honeypot")].legit_pct_during_attack for r in RATES), 1
+        ),
+    )
     # --- Shape assertions ---------------------------------------------
     # No defense: higher rate, more damage.
     assert (

@@ -82,6 +82,8 @@ def test_ext_levelk_fairness(benchmark, report):
         )
     )
     by_place = {p: (a, b, sa, sb) for p, a, b, sa, sb in rows}
+    report.metric("dispersed_legit_share_hbh_pct", round(by_place["even"][0], 1))
+    report.metric("dispersed_legit_share_lvl3_pct", round(by_place["even"][1], 1))
     # The paper's point: BOTH allocation rules stay ineffective against
     # dispersed attackers — a large fraction of clients are squeezed
     # below their offered rate, unlike honeypot back-propagation whose

@@ -53,6 +53,11 @@ def test_ext_message_overhead(benchmark, report):
             [[n, m, b, c] for n, m, b, c in rows],
         )
     )
+    report.metric("control_msgs_at_40", rows[-1][1])
+    report.metric("blocked_pkts_at_40", rows[-1][2])
+    report.metric(
+        "blocked_per_msg_min", round(min(b / m for _, m, b, _ in rows), 1)
+    )
     ns = np.array([r[0] for r in rows], dtype=float)
     msgs = np.array([r[1] for r in rows], dtype=float)
     blocked = np.array([r[2] for r in rows], dtype=float)

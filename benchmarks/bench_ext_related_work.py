@@ -87,6 +87,9 @@ def test_ext_related_work(benchmark, report):
             ],
         )
     )
+    report.metric("ppm_packets", r["ppm_packets"])
+    report.metric("hbp_packets", r["hbp_packets"])
+    report.metric("sos_multiplier", round(r["sos_multiplier"], 2))
     # --- Shape assertions ---------------------------------------------
     # PPM needs far more attack packets than hop-by-hop traceback (one
     # per hop) — the gap that makes low-rate attackers so slow to trace.

@@ -49,6 +49,13 @@ def test_fig10_attacker_locations(benchmark, report):
         for placement in PLACEMENTS
     ]
     report(render_table(["location"] + list(DEFENSES), rows))
+    report.metric(
+        "honeypot_min_legit_pct",
+        round(min(grid[(p, "honeypot")] for p in PLACEMENTS), 1),
+    )
+    report.metric(
+        "pushback_close_legit_pct", round(grid[("close", "pushback")], 1)
+    )
     # --- Shape assertions (who wins, and the Pushback gradient) -------
     for placement in PLACEMENTS:
         hp = grid[(placement, "honeypot")]

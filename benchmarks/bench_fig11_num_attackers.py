@@ -46,6 +46,10 @@ def test_fig11_number_of_attackers(benchmark, report):
         [n] + [f"{grid[(n, d)]:.1f}" for d in DEFENSES] for n in COUNTS
     ]
     report(render_table(["# attackers"] + list(DEFENSES), rows))
+    report.metric(
+        "honeypot_at_50_legit_pct", round(grid[(50, "honeypot")], 1)
+    )
+    report.metric("none_at_50_legit_pct", round(grid[(50, "none")], 1))
     # --- Shape assertions ---------------------------------------------
     # Honeypot back-propagation stays high at every attacker count.
     for n in COUNTS:

@@ -49,6 +49,11 @@ def test_fig5_progressive_capture_time(benchmark, report):
             for t_on, ct in pts[:: max(1, len(pts) // 18)]
         )
         report(f"on-off t_off={t_off:g}s (t_on:E[CT]): {rows}")
+    report.metric("continuous_ct_s", round(continuous, 2))
+    report.metric(
+        "finite_points",
+        sum(1 for pts in series.values() for _, c in pts if not math.isinf(c)),
+    )
     # --- Shape assertions (who wins / where the regions fall) ---------
     for t_off, pts in series.items():
         finite = [(t, c) for t, c in pts if not math.isinf(c)]

@@ -45,6 +45,13 @@ def test_fig6_eq3_validation(benchmark, report):
             )
         )
         report("")
+    all_rows = [r for rows in results.values() for r in rows]
+    report.metric(
+        "mean_capture_time_s",
+        round(sum(r[1] for r in all_rows) / len(all_rows), 2),
+    )
+    report.metric("points_within_bound", sum(1 for r in all_rows if r[3]))
+    report.metric("points_total", len(all_rows))
     # --- Shape assertions ---------------------------------------------
     # (a) capture time decreases as p grows.
     p_rows = results["p"]

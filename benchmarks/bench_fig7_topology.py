@@ -8,10 +8,7 @@ they track the target distributions.
 import numpy as np
 
 from repro.experiments.runner import render_table
-from repro.topology.distributions import (
-    PAPER_HOP_COUNT_DIST,
-    PAPER_NODE_DEGREE_DIST,
-)
+from repro.topology.distributions import PAPER_HOP_COUNT_DIST
 from repro.topology.tree import TreeParams, build_tree_topology
 
 
@@ -43,6 +40,9 @@ def test_fig7_distributions(benchmark, report):
             [[d, n, f"{n / dtotal:.3f}"] for d, n in degrees.items()],
         )
     )
+    report.metric("hop_mode", max(hops, key=hops.get))
+    report.metric("max_degree", max(degrees))
+    report.metric("n_leaves", total)
     # --- Shape assertions ---------------------------------------------
     # Hop counts live on the target support and peak near its mode.
     support = set(PAPER_HOP_COUNT_DIST.values.tolist())

@@ -49,6 +49,12 @@ def test_fig8_throughput_timeplot(benchmark, report):
             report(row)
     # --- Shape assertions ---------------------------------------------
     hp, pb, nd = (results[n] for n in ("honeypot", "pushback", "none"))
+    report.metric("captures", len(hp.capture_times))
+    report.metric("false_captures", hp.false_captures)
+    report.metric(
+        "honeypot_late_legit_pct",
+        round(mean_over_window(hp.times, hp.legit_pct, 50.0, 90.0), 1),
+    )
 
     def late_window(res):
         return mean_over_window(res.times, res.legit_pct, 50.0, 90.0)

@@ -25,6 +25,8 @@ def test_fig9_parameter_table(benchmark, report):
         f"derived: clients={params.n_clients}, per-client rate="
         f"{params.client_rate / 1e6:.3f} Mb/s, p={params.honeypot_probability}"
     )
+    report.metric("n_parameters", len(PARAMETER_TABLE))
+    report.metric("honeypot_probability", params.honeypot_probability)
     # Sanity: the table names the paper's three studied dimensions.
     text = table.lower()
     for needle in ("location", "number of attackers", "attack rate"):

@@ -85,6 +85,12 @@ def test_hierarchical_end_to_end(benchmark, report):
             ],
         )
     )
+    report.metric("continuous_captures", len(cont.captures))
+    report.metric(
+        "max_capture_time_s",
+        round(max(capture_times), 2) if capture_times else None,
+    )
+    report.metric("progressive_burst_captures", len(prog.captures))
     # --- Shape assertions ---------------------------------------------
     assert len(cont.captures) == 3
     assert max(capture_times) < 5.0  # "within seconds"

@@ -9,13 +9,29 @@ complete traffic scenario.  They guard against performance regressions
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.packet import Packet
 from repro.topology.string import build_string_topology
 from repro.traffic.sources import CBRSource
 
 
-def test_perf_event_loop(benchmark):
+def _mean_seconds(benchmark):
+    """Mean wall time of one round, or None if stats are unavailable."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
+def _record(report, benchmark, count_name, count):
+    mean = _mean_seconds(benchmark)
+    report.metric(count_name, count)
+    if mean:
+        report.metric("mean_round_s", round(mean, 6))
+        report.metric(f"{count_name}_per_s", round(count / mean))
+
+
+def test_perf_event_loop(benchmark, report):
     """Raw scheduler throughput: 20k no-op events."""
+    report.name = "perf_event_loop"
 
     def run():
         sim = Simulator()
@@ -25,6 +41,7 @@ def test_perf_event_loop(benchmark):
         return sim.events_processed
 
     events = benchmark(run)
+    _record(report, benchmark, "events", events)
     assert events == 20_000
 
 
@@ -32,8 +49,9 @@ def _noop() -> None:
     return None
 
 
-def test_perf_link_serialization(benchmark):
+def test_perf_link_serialization(benchmark, report):
     """Packets through one congested channel (queue churn)."""
+    report.name = "perf_link_serialization"
 
     def run():
         topo = build_string_topology(1, bandwidth=1e6, qlimit=50)
@@ -48,11 +66,13 @@ def test_perf_link_serialization(benchmark):
         return net.nodes[topo.server_id].packets_received
 
     delivered = benchmark(run)
+    _record(report, benchmark, "delivered", delivered)
     assert delivered > 1000  # 1 Mb/s of 500 B packets for 5 s
 
 
-def test_perf_multi_hop_forwarding(benchmark):
+def test_perf_multi_hop_forwarding(benchmark, report):
     """Store-and-forward across a 10-router chain."""
+    report.name = "perf_multi_hop_forwarding"
 
     def run():
         topo = build_string_topology(10)
@@ -67,11 +87,13 @@ def test_perf_multi_hop_forwarding(benchmark):
         return net.sim.events_processed
 
     events = benchmark(run)
+    _record(report, benchmark, "events", events)
     assert events > 5000
 
 
-def test_perf_router_hook_overhead(benchmark):
+def test_perf_router_hook_overhead(benchmark, report):
     """Ingress-hook dispatch cost with a pass-through hook installed."""
+    report.name = "perf_router_hook_overhead"
 
     def run():
         topo = build_string_topology(3)
@@ -88,4 +110,5 @@ def test_perf_router_hook_overhead(benchmark):
         return net.nodes[topo.server_id].packets_received
 
     delivered = benchmark(run)
+    _record(report, benchmark, "delivered", delivered)
     assert delivered > 500

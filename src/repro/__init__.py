@@ -28,6 +28,9 @@ Packages
     Section 7's capture-time equations.
 ``repro.experiments``
     Scenario builders and batch runners for every figure.
+``repro.obs``
+    Unified observability: metrics registry, span timelines,
+    simulator self-profiling, and run-artifact exporters.
 """
 
 __version__ = "1.0.0"
@@ -39,6 +42,7 @@ from . import (  # noqa: F401
     defense,
     experiments,
     honeypots,
+    obs,
     pushback,
     related,
     sim,
@@ -53,6 +57,7 @@ __all__ = [
     "defense",
     "experiments",
     "honeypots",
+    "obs",
     "pushback",
     "related",
     "sim",

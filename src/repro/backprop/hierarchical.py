@@ -165,11 +165,15 @@ class HierarchicalBackprop:
         config: Optional[IntraASConfig] = None,
         progressive: bool = False,
         rho: int = 3,
+        telemetry=None,
     ) -> None:
         self.topo = topo
         self.net = topo.network
         self.sim: Simulator = topo.network.sim
         self.epoch_len = epoch_len
+        self.telemetry = telemetry
+        # asn -> open "as_session" span (telemetry only).
+        self._as_spans: Dict[int, object] = {}
         # 1-based epochs during which the server acts as a honeypot;
         # None = every epoch (single-server teaching setup).
         self.honeypot_epochs = honeypot_epochs
@@ -202,7 +206,11 @@ class HierarchicalBackprop:
         # Router-level agents everywhere.
         for router in self.net.routers():
             self.router_agents[router.id] = BackpropRouterAgent(
-                self.sim, router, self.config, on_capture=self.captures.append
+                self.sim,
+                router,
+                self.config,
+                on_capture=self.captures.append,
+                telemetry=self.telemetry,
             )
         # Edge diversion agents: one per neighbor AS.
         for asn, site in topo.sites.items():
@@ -257,6 +265,11 @@ class HierarchicalBackprop:
             and self._count >= self.config.trigger_threshold
         ):
             self._triggered_epoch = epoch
+            tele = self.telemetry
+            if tele is not None:
+                root = tele.open_session(self.topo.server.addr, epoch)
+                tele.spans.event("honeypot_hit", parent=root, hits=self._count)
+                tele.spans.event("session_open", parent=root)
             # Fig. 2(a): the server alerts the HSM of its home AS.
             msg = HoneypotRequest(self.topo.server.addr, epoch, origin_as=-1)
             self.topo.server.send_control(
@@ -274,6 +287,8 @@ class HierarchicalBackprop:
                 self.topo.sites[self.topo.victim_asn].hsm.addr, msg
             )
             self._triggered_epoch = None
+            if self.telemetry is not None:
+                self.telemetry.close_session(self.topo.server.addr, prev)
         if self.progressive:
             # Apply the maintenance rules once the prior epoch's reports
             # have landed, then resume from the frontier if this epoch
@@ -295,6 +310,14 @@ class HierarchicalBackprop:
             if asn in self._sessions:
                 continue
             self.messages["resumes"] += 1
+            tele = self.telemetry
+            if tele is not None:
+                tele.registry.counter("backprop_progressive_resumes_total").inc()
+                tele.spans.event(
+                    "progressive_resume",
+                    parent=tele.session_span(self.topo.server.addr, epoch),
+                    asn=asn,
+                )
             msg = HoneypotRequest(self.topo.server.addr, epoch, origin_as=-1)
             self.topo.server.send_control(self.topo.sites[asn].hsm.addr, msg)
 
@@ -338,12 +361,25 @@ class HierarchicalBackprop:
         self._session_from[asn] = from_as
         site = self.topo.sites[asn]
         site.hsm.reset(honeypot_addr)
+        tele = self.telemetry
+        if tele is not None:
+            root = tele.open_session(honeypot_addr, epoch)
+            self._as_spans[asn] = tele.spans.start(
+                "as_session", parent=root, asn=asn,
+                from_as=-1 if from_as is None else from_as,
+            )
+            tele.registry.counter("backprop_as_sessions_total").inc()
         # Divert honeypot traffic entering from every neighbor AS
         # except the downstream one (traffic *to* the honeypot never
         # enters from downstream on a tree).
         for nbr, agent in site.edge_agents.items():
             if nbr != from_as:
                 agent.announce(honeypot_addr)
+                if tele is not None:
+                    tele.spans.event(
+                        "diversion", parent=self._as_spans.get(asn),
+                        asn=asn, neighbor=nbr,
+                    )
         # Intra-AS: seed the AS's routers with a local session so input
         # debugging can walk to any attack hosts inside this AS.
         site.edge_router.control_handlers["local_hp_request"](
@@ -355,6 +391,10 @@ class HierarchicalBackprop:
             return
         del self._sessions[asn]
         site = self.topo.sites[asn]
+        if self.telemetry is not None:
+            span = self._as_spans.pop(asn, None)
+            if span is not None:
+                self.telemetry.spans.end(span)
         # Progressive: a transit AS that relayed nothing upstream is the
         # frontier; it reports its identity + timestamp to the server.
         if (
@@ -414,6 +454,16 @@ class HierarchicalBackprop:
             done.add(upstream)
             honeypot_addr = pkt.payload if isinstance(pkt.payload, int) else pkt.dst
             self.messages["inter_requests"] += 1
+            tele = self.telemetry
+            if tele is not None:
+                parent = self._as_spans.get(asn)
+                tele.spans.event(
+                    "ingress_identified", parent=parent, asn=asn, upstream=upstream
+                )
+                tele.spans.event(
+                    "inter_as_hop", parent=parent, from_as=asn, to_as=upstream
+                )
+                tele.registry.counter("backprop_inter_as_hops_total").inc()
             request = HoneypotRequest(honeypot_addr, epoch, origin_as=asn)
             signed = sign_inter_as(request, self.keyring.between(asn, upstream))
             self.topo.sites[asn].hsm.send_control(

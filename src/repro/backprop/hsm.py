@@ -142,3 +142,10 @@ class HSM:
     def drop_session(self, honeypot_addr: int) -> None:
         self.sessions.pop(honeypot_addr, None)
         self.downstream_of.pop(honeypot_addr, None)
+
+    def record_metrics(self, registry) -> None:
+        """Fold this HSM's bookkeeping counters into a
+        :class:`repro.obs.MetricsRegistry` (labeled by AS number)."""
+        for name, value in vars(self.state).items():
+            if value:
+                registry.counter(f"hsm_{name}_total", asn=self.asn).inc(value)

@@ -177,6 +177,7 @@ class InterASBackprop:
         deployment: Optional[DeploymentMap] = None,
         sim: Optional[Simulator] = None,
         server_index: int = 0,
+        telemetry=None,
     ) -> None:
         self.topo = topo
         self.schedule = schedule
@@ -186,6 +187,9 @@ class InterASBackprop:
         self.deployment = deployment or DeploymentMap()
         self.sim = sim or Simulator()
         self.server_index = server_index
+        self.telemetry = telemetry
+        # (asn, epoch) -> open "as_session" span (telemetry only).
+        self._as_spans: Dict[Tuple[int, int], object] = {}
 
         self.keyring = KeyRing()
         for a, b in topo.graph.edges:
@@ -250,6 +254,15 @@ class InterASBackprop:
     def capture_times(self) -> Dict[int, float]:
         return dict(self.captures)
 
+    def snapshot_telemetry(self) -> None:
+        """Fold post-run HSM counters and message totals into the
+        attached telemetry (no-op without telemetry)."""
+        if self.telemetry is None:
+            return
+        for hsm in self.hsms.values():
+            hsm.record_metrics(self.telemetry.registry)
+        self.telemetry.record_stats(self.messages, prefix="interas_")
+
     # ------------------------------------------------------------------
     # Epoch machinery
     # ------------------------------------------------------------------
@@ -309,6 +322,13 @@ class InterASBackprop:
             send_at = max(ep_start - (t_a + cfg.tau), self.sim.now)
             create_at = send_at + t_a + cfg.tau
             self.messages["resumes"] += 1
+            if self.telemetry is not None:
+                self.telemetry.registry.counter(
+                    "backprop_progressive_resumes_total"
+                ).inc()
+                self.telemetry.spans.event(
+                    "progressive_resume", asn=asn, epoch=next_epoch
+                )
             self._roots.setdefault(next_epoch, set()).add(asn)
             self.sim.schedule_at(create_at, self._create_session, asn, next_epoch, None)
 
@@ -350,6 +370,14 @@ class InterASBackprop:
             return
         self._alive.add(key)
         self._children.setdefault(key, set())
+        tele = self.telemetry
+        if tele is not None:
+            root = tele.open_session(VICTIM_ADDR, epoch)
+            self._as_spans[key] = tele.spans.start(
+                "as_session", parent=root, asn=asn,
+                from_as=-1 if from_as is None else from_as,
+            )
+            tele.registry.counter("backprop_as_sessions_total").inc()
         if not self.topo.is_transit(asn):
             if asn == self.topo.victim_as:
                 self._arm_propagation(asn, epoch, sess)
@@ -402,6 +430,16 @@ class InterASBackprop:
         now = self.sim.now
         cfg = self.config
         key = (asn, epoch)
+        tele = self.telemetry
+        if tele is not None:
+            parent = self._as_spans.get(key)
+            tele.spans.event(
+                "ingress_identified", parent=parent, asn=asn, upstream=upstream
+            )
+            tele.spans.event(
+                "inter_as_hop", parent=parent, from_as=asn, to_as=upstream
+            )
+            tele.registry.counter("backprop_inter_as_hops_total").inc()
         if self.deployment.deploys(upstream):
             self.messages["requests"] += 1
             self._children[key].add(upstream)
@@ -451,6 +489,18 @@ class InterASBackprop:
             if atk.attacker_id == attacker_id:
                 atk.captured_at = now
                 break
+        tele = self.telemetry
+        if tele is not None:
+            epoch = self.schedule.epoch_index(
+                max(now, self.schedule.start_time) + 1e-9
+            )
+            tele.registry.counter("backprop_captures_total").inc()
+            tele.spans.event(
+                "port_close",
+                parent=self._as_spans.get((asn, epoch)),
+                host=attacker_id,
+                asn=asn,
+            )
         # Retire the stub's retained session once its attackers are done.
         if all(
             a.attacker_id in self.captures
@@ -459,7 +509,13 @@ class InterASBackprop:
         ):
             self._retained_stubs.discard(asn)
             self.hsms[asn].drop_session(VICTIM_ADDR)
-            self._alive = {k for k in self._alive if k[0] != asn}
+            retired = {k for k in self._alive if k[0] == asn}
+            self._alive -= retired
+            if self.telemetry is not None:
+                for key in retired:
+                    span = self._as_spans.pop(key, None)
+                    if span is not None:
+                        self.telemetry.spans.end(span, captured=True)
 
     # ------------------------------------------------------------------
     # Cancels and frontier reports
@@ -497,6 +553,10 @@ class InterASBackprop:
             return
         self._alive.discard(key)
         self._children.pop(key, None)
+        if self.telemetry is not None:
+            span = self._as_spans.pop(key, None)
+            if span is not None:
+                self.telemetry.spans.end(span)
         if sess is not None and sess.epoch == epoch:
             hsm.drop_session(VICTIM_ADDR)
         # Progressive frontier report from stalled *transit* ASs.

@@ -22,7 +22,7 @@ ns-2 module):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..crypto.auth import ttl_authenticated
 from ..honeypots.roaming import RoamingServerPool
@@ -70,12 +70,15 @@ class BackpropRouterAgent:
         router: Router,
         config: Optional[IntraASConfig] = None,
         on_capture: Optional[CaptureCallback] = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.router = router
         self.config = config or IntraASConfig()
         self.on_capture = on_capture
+        self.telemetry = telemetry
         self.sessions: Dict[int, HoneypotSession] = {}
+        self._session_spans: Dict[int, Any] = {}
         self.port_filter = PortBlockFilter()
         self.captures: List[CaptureRecord] = []
         # Channels crossing an AS boundary: local honeypot messages must
@@ -130,6 +133,15 @@ class BackpropRouterAgent:
             size=self.config.control_packet_size,
         )
         self.requests_sent += 1
+        tele = self.telemetry
+        if tele is not None:
+            tele.registry.counter("backprop_hop_relays_total").inc()
+            tele.spans.event(
+                "hop_relay",
+                parent=self._session_spans.get(sess.honeypot_addr),
+                router=self.router.addr,
+                upstream=in_channel.src.addr,
+            )
 
     def _block_port(self, sess: HoneypotSession, in_channel: Channel) -> None:
         if self.sessions.get(sess.honeypot_addr) is not sess:
@@ -144,6 +156,15 @@ class BackpropRouterAgent:
             self.captures.append(record)
             if self.on_capture is not None:
                 self.on_capture(record)
+            tele = self.telemetry
+            if tele is not None:
+                tele.registry.counter("backprop_captures_total").inc()
+                tele.spans.event(
+                    "port_close",
+                    parent=self._session_spans.get(sess.honeypot_addr),
+                    host=record.host_addr,
+                    access_router=record.access_router_addr,
+                )
 
     # ------------------------------------------------------------------
     # Control plane
@@ -160,6 +181,19 @@ class BackpropRouterAgent:
                 epoch=msg.epoch,
                 created_at=self.sim.now,
             )
+            tele = self.telemetry
+            if tele is not None:
+                stale = self._session_spans.pop(msg.honeypot_addr, None)
+                if stale is not None:  # replaced without a cancel
+                    tele.spans.end(stale)
+                root = tele.open_session(msg.honeypot_addr, msg.epoch)
+                self._session_spans[msg.honeypot_addr] = tele.spans.start(
+                    "intra_input_debugging",
+                    parent=root,
+                    router=self.router.addr,
+                    epoch=msg.epoch,
+                )
+                tele.registry.counter("backprop_router_sessions_total").inc()
 
     def _on_cancel(self, pkt: Packet, in_channel) -> None:
         if not ttl_authenticated(pkt.ttl):
@@ -169,6 +203,11 @@ class BackpropRouterAgent:
         sess = self.sessions.pop(msg.honeypot_addr, None)
         if sess is None:
             return
+        tele = self.telemetry
+        if tele is not None:
+            span = self._session_spans.pop(msg.honeypot_addr, None)
+            if span is not None:
+                tele.spans.end(span, ingress_ports=len(sess.ingress_counts))
         # Cascade cancels along the request tree; port blocks persist.
         for upstream in sess.propagated_to:
             if isinstance(upstream, Channel) and isinstance(upstream.src, Router):
@@ -197,6 +236,7 @@ class HoneypotServerAgent:
         pool: RoamingServerPool,
         access_router: Router,
         config: Optional[IntraASConfig] = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.server = server
@@ -204,6 +244,7 @@ class HoneypotServerAgent:
         self.pool = pool
         self.access_router = access_router
         self.config = config or IntraASConfig()
+        self.telemetry = telemetry
         self.requests_sent = 0
         self.cancels_sent = 0
         self.honeypot_hits = 0
@@ -222,12 +263,27 @@ class HoneypotServerAgent:
         self.honeypot_hits += 1
         self._count_this_epoch += 1
         epoch = self.pool.current_epoch()
+        tele = self.telemetry
+        if tele is not None:
+            tele.registry.counter(
+                "honeypot_hits_total", server=self.server.addr
+            ).inc()
         if (
             self._requested_epoch != epoch
             and self._cancelled_epoch != epoch
             and self._count_this_epoch >= self.config.trigger_threshold
         ):
             self._requested_epoch = epoch
+            if tele is not None:
+                root = tele.open_session(
+                    self.server.addr, epoch, server_index=self.server_index
+                )
+                tele.spans.event(
+                    "honeypot_hit",
+                    parent=root,
+                    hits=self._count_this_epoch,
+                )
+                tele.spans.event("session_open", parent=root)
             self.server.send_control(
                 self.access_router.addr,
                 LocalHoneypotRequest(self.server.addr, epoch),
@@ -252,6 +308,8 @@ class HoneypotServerAgent:
         self.cancels_sent += 1
         self._cancelled_epoch = epoch
         self._requested_epoch = None
+        if self.telemetry is not None:
+            self.telemetry.close_session(self.server.addr, epoch)
 
     def _on_epoch(self, epoch: int, active: frozenset) -> None:
         # Backstop at the boundary: cancel any session tree the early

@@ -4,8 +4,17 @@ Usage::
 
     python -m repro list
     python -m repro fig8 --scale quick
+    python -m repro fig8 --scale quick --metrics-out out.json
+    python -m repro stats --scale quick
     python -m repro analyze --scheme progressive --m 10 --p 0.4 --h 10 \
         --r 10 --tau 1 --t-on 3 --t-off 10
+
+``--metrics-out FILE`` on a figure command (and on ``stats``) attaches
+the :mod:`repro.obs` telemetry layer to the figure's simulation runs
+and writes the machine-readable run artifact — metrics registry, span
+timelines, and engine self-profile — as JSON.  ``stats`` runs the
+standard quick scenario under full observability and prints the
+human-readable telemetry dump.
 """
 
 from __future__ import annotations
@@ -42,6 +51,37 @@ def build_parser() -> argparse.ArgumentParser:
             help="workload scale: quick (seconds), default (minutes), "
             "paper (full 1000-leaf, 1000 s runs)",
         )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            default=None,
+            help="instrument the runs with repro.obs and write the "
+            "telemetry artifact (metrics + spans + engine profile) as JSON",
+        )
+
+    s = sub.add_parser(
+        "stats",
+        help="run the standard scenario with full observability and "
+        "print the telemetry dump",
+    )
+    s.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="quick",
+        help="workload scale of the instrumented run",
+    )
+    s.add_argument(
+        "--defense",
+        choices=("honeypot", "pushback", "none"),
+        default="honeypot",
+        help="defense configuration to instrument",
+    )
+    s.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="also write the telemetry artifact as JSON",
+    )
 
     a = sub.add_parser(
         "analyze", help="expected capture time from the Section 7 equations"
@@ -90,10 +130,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"E[capture time] ~= {result.expected:.1f} s"
             )
         return 0
-    try:
-        print(figure(args.command, args.scale))
-    except BrokenPipeError:  # e.g. piped into `head`
+    if args.command == "stats":
+        from dataclasses import replace
+
+        from .experiments.figures import _scenario_base
+        from .experiments.scenarios import run_tree_scenario
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
+        params = replace(_scenario_base(args.scale), defense=args.defense)
+        result = run_tree_scenario(params, telemetry=telemetry)
+        # Write the artifact before printing: stdout may be a closed
+        # pipe (`... | head`), and the artifact must survive that.
+        path = telemetry.write(args.metrics_out) if args.metrics_out else None
+        try:
+            print(telemetry.render())
+            print(
+                f"legit throughput during attack: "
+                f"{result.legit_pct_during_attack:.1f}% of bottleneck"
+            )
+            if path:
+                print(f"telemetry artifact written to {path}")
+        except BrokenPipeError:
+            pass
         return 0
+    telemetry = None
+    if getattr(args, "metrics_out", None):
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
+    text = figure(args.command, args.scale, telemetry=telemetry)
+    path = telemetry.write(args.metrics_out) if telemetry is not None else None
+    try:
+        print(text)
+        if path:
+            print(f"telemetry artifact written to {path}")
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
     return 0
 
 

@@ -9,7 +9,7 @@ agents to the instantiated network; scenarios stay defense-agnostic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..sim.network import Network
 
@@ -17,9 +17,20 @@ __all__ = ["Defense", "NoDefense"]
 
 
 class Defense(ABC):
-    """Something that can be attached to a network before a run."""
+    """Something that can be attached to a network before a run.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` or None) is set by
+    :meth:`use_telemetry` before :meth:`attach`; defenses that support
+    observability pass it down to their agents, others ignore it.
+    """
 
     name: str = "abstract"
+    telemetry: Optional[Any] = None
+
+    def use_telemetry(self, telemetry: Optional[Any]) -> "Defense":
+        """Record the telemetry hub to instrument agents with."""
+        self.telemetry = telemetry
+        return self
 
     @abstractmethod
     def attach(self, network: Network) -> None:

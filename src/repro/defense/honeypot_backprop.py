@@ -56,13 +56,23 @@ class HoneypotBackpropDefense(Defense):
         for router in network.routers():
             self.router_agents.append(
                 BackpropRouterAgent(
-                    sim, router, self.config, on_capture=self.captures.append
+                    sim,
+                    router,
+                    self.config,
+                    on_capture=self.captures.append,
+                    telemetry=self.telemetry,
                 )
             )
         for idx, server in enumerate(self.pool.servers):
             self.server_agents.append(
                 HoneypotServerAgent(
-                    sim, server, idx, self.pool, self.server_access_router, self.config
+                    sim,
+                    server,
+                    idx,
+                    self.pool,
+                    self.server_access_router,
+                    self.config,
+                    telemetry=self.telemetry,
                 )
             )
         self.pool.start()

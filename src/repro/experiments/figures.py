@@ -40,7 +40,7 @@ def _scenario_base(scale: str) -> TreeScenarioParams:
     return base
 
 
-def fig5(scale: str = "default") -> str:
+def fig5(scale: str = "default", telemetry=None) -> str:
     m, p, h, r, tau = 10.0, 0.4, 10, 10.0, 1.0
     lines = [
         "Fig. 5 — analytical capture time, progressive back-propagation",
@@ -55,7 +55,7 @@ def fig5(scale: str = "default") -> str:
     return "\n".join(lines)
 
 
-def fig6(scale: str = "default") -> str:
+def fig6(scale: str = "default", telemetry=None) -> str:
     runs = 3 if scale == "quick" else 8
     base = ValidationParams(hops=10, p=0.3, epoch_len=10.0, runs=runs, seed=7)
     lines = ["Fig. 6 — Eq. (3) validation (sim mean vs m/p bound)"]
@@ -74,7 +74,7 @@ def fig6(scale: str = "default") -> str:
     return "\n".join(lines)
 
 
-def fig7(scale: str = "default") -> str:
+def fig7(scale: str = "default", telemetry=None) -> str:
     n_leaves = 100 if scale == "quick" else 400
     topo = build_tree_topology(
         TreeParams(n_leaves=n_leaves), np.random.default_rng(0)
@@ -96,14 +96,19 @@ def fig7(scale: str = "default") -> str:
     return "\n".join(lines)
 
 
-def fig8(scale: str = "default") -> str:
+def fig8(scale: str = "default", telemetry=None) -> str:
     base = _scenario_base(scale)
     lines = [
         "Fig. 8 — legitimate throughput (%) over time, "
         f"attack in [{base.attack_start:.0f}, {base.attack_end:.0f}] s"
     ]
+    # Telemetry instruments the honeypot run (the defense under study);
+    # the baselines run uninstrumented on their own simulators.
     results = {
-        name: run_tree_scenario(replace(base, defense=name))
+        name: run_tree_scenario(
+            replace(base, defense=name),
+            telemetry=telemetry if name == "honeypot" else None,
+        )
         for name in ("honeypot", "pushback", "none")
     }
     lines.append("t(s)  " + "  ".join(f"{n:>9s}" for n in results))
@@ -119,23 +124,30 @@ def fig8(scale: str = "default") -> str:
         f"captures: {len(hp.capture_times)}/{base.n_attackers}, "
         f"false: {hp.false_captures}"
     )
+    if telemetry is not None:
+        telemetry.extra["fig8"] = {
+            "times": list(times),
+            "legit_pct": {n: list(r.legit_pct) for n, r in results.items()},
+            "attack_pct": {n: list(r.attack_pct) for n, r in results.items()},
+        }
     return "\n".join(lines)
 
 
-def fig9(scale: str = "default") -> str:
+def fig9(scale: str = "default", telemetry=None) -> str:
     return "Fig. 9 — simulation parameters\n" + render_table(
         ["parameter", "values studied", "default"], PARAMETER_TABLE
     )
 
 
-def fig10(scale: str = "default") -> str:
+def fig10(scale: str = "default", telemetry=None) -> str:
     base = _scenario_base(scale)
     rows = []
     for placement in ("far", "even", "close"):
         row = [placement]
         for defense in ("honeypot", "pushback", "none"):
             res = run_tree_scenario(
-                replace(base, placement=placement, defense=defense)
+                replace(base, placement=placement, defense=defense),
+                telemetry=telemetry if defense == "honeypot" else None,
             )
             row.append(f"{res.legit_pct_during_attack:.1f}")
         rows.append(row)
@@ -144,7 +156,7 @@ def fig10(scale: str = "default") -> str:
     )
 
 
-def fig11(scale: str = "default") -> str:
+def fig11(scale: str = "default", telemetry=None) -> str:
     base = replace(_scenario_base(scale), attacker_rate=0.5e6)
     counts = (5, 25) if scale == "quick" else (5, 10, 25, 50)
     rows = []
@@ -152,7 +164,8 @@ def fig11(scale: str = "default") -> str:
         row = [n]
         for defense in ("honeypot", "pushback", "none"):
             res = run_tree_scenario(
-                replace(base, n_attackers=n, defense=defense)
+                replace(base, n_attackers=n, defense=defense),
+                telemetry=telemetry if defense == "honeypot" else None,
             )
             row.append(f"{res.legit_pct_during_attack:.1f}")
         rows.append(row)
@@ -172,12 +185,17 @@ FIGURES: Dict[str, Callable[[str], str]] = {
 }
 
 
-def figure(name: str, scale: str = "default") -> str:
-    """Regenerate one figure by name ('fig5' ... 'fig11')."""
+def figure(name: str, scale: str = "default", telemetry=None) -> str:
+    """Regenerate one figure by name ('fig5' ... 'fig11').
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` or None) instruments
+    the figure's runs; figures without a simulation component accept
+    and ignore it.
+    """
     try:
         fn = FIGURES[name]
     except KeyError:
         raise ValueError(
             f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
         ) from None
-    return fn(scale)
+    return fn(scale, telemetry=telemetry)

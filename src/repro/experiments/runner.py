@@ -6,7 +6,7 @@ these helpers keep that rendering consistent.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import asdict, replace
 from typing import Any, Dict, Iterable, List, Sequence
 
 import numpy as np
@@ -18,9 +18,25 @@ __all__ = [
     "render_series",
     "render_table",
     "replicate_scenario",
+    "result_to_dict",
     "summarize",
     "sweep_scenario",
 ]
+
+
+def result_to_dict(result: TreeScenarioResult) -> Dict[str, Any]:
+    """A :class:`TreeScenarioResult` as a JSON-ready artifact payload."""
+    return {
+        "params": asdict(result.params),
+        "times": list(result.times),
+        "legit_pct": list(result.legit_pct),
+        "attack_pct": list(result.attack_pct),
+        "legit_pct_during_attack": result.legit_pct_during_attack,
+        "defense_stats": dict(result.defense_stats),
+        "capture_times": {str(k): v for k, v in result.capture_times.items()},
+        "false_captures": result.false_captures,
+        "events_processed": result.events_processed,
+    }
 
 
 def replicate_scenario(

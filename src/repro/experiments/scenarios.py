@@ -178,8 +178,17 @@ def _build_defense(
     raise ValueError(f"unknown defense {params.defense!r}")
 
 
-def run_tree_scenario(params: TreeScenarioParams) -> TreeScenarioResult:
-    """Build, run, and measure one tree-scenario simulation."""
+def run_tree_scenario(
+    params: TreeScenarioParams, telemetry=None
+) -> TreeScenarioResult:
+    """Build, run, and measure one tree-scenario simulation.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` or None) turns on the
+    unified observability layer: the defense emits lifecycle spans, the
+    monitor counts per-class deliveries, the engine self-profiles, and
+    the network's counters are snapshotted into the registry after the
+    run.  With None (the default) nothing is instrumented.
+    """
     if not 0 <= params.n_attackers <= params.n_leaves:
         raise ValueError("n_attackers out of range")
     if not 0 < params.attack_start < params.attack_end <= params.duration:
@@ -198,7 +207,10 @@ def run_tree_scenario(params: TreeScenarioParams) -> TreeScenarioResult:
     attacker_ids, client_ids = assign_roles(
         topo, params.n_attackers, params.placement, rngs.stream("roles")
     )
+    if telemetry is not None:
+        telemetry.bind(net.sim)
     defense, pool, service = _build_defense(params, net, topo, rngs)
+    defense.use_telemetry(telemetry)
     defense.attach(net)
 
     # --- Legitimate clients -------------------------------------------
@@ -262,7 +274,13 @@ def run_tree_scenario(params: TreeScenarioParams) -> TreeScenarioResult:
         return None
 
     servers = [net.nodes[sid] for sid in topo.server_ids]
-    monitor = ThroughputMonitor(net.sim, servers, classify, interval=1.0)
+    monitor = ThroughputMonitor(
+        net.sim,
+        servers,
+        classify,
+        interval=1.0,
+        registry=telemetry.registry if telemetry is not None else None,
+    )
     monitor.start()
 
     net.run(until=params.duration)
@@ -278,6 +296,16 @@ def run_tree_scenario(params: TreeScenarioParams) -> TreeScenarioResult:
     if isinstance(defense, HoneypotBackpropDefense):
         capture_times = defense.capture_times(params.attack_start)
         false_caps = len(defense.false_captures(attacker_ids))
+
+    if telemetry is not None:
+        telemetry.snapshot_network(net)
+        telemetry.record_stats(defense.stats(), prefix=f"{defense.name}_")
+        telemetry.extra.setdefault("throughput", monitor.to_dict())
+        telemetry.extra.setdefault("scenario", {})[params.defense] = {
+            "legit_pct_during_attack": during,
+            "captures": len(capture_times),
+            "false_captures": false_caps,
+        }
 
     return TreeScenarioResult(
         params=params,

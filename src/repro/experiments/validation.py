@@ -73,8 +73,14 @@ class ValidationOutcome:
         return self.mean_capture_time <= self.predicted * slack
 
 
-def run_trial(params: ValidationParams, run_index: int) -> Optional[float]:
-    """One capture-time measurement; None if never captured."""
+def run_trial(
+    params: ValidationParams, run_index: int, telemetry=None
+) -> Optional[float]:
+    """One capture-time measurement; None if never captured.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` or None) instruments
+    the trial's simulator and defense.
+    """
     seed = derive_seed(params.seed, f"validation-{run_index}")
     rng = np.random.default_rng(seed)
 
@@ -86,12 +92,15 @@ def run_trial(params: ValidationParams, run_index: int) -> Optional[float]:
     net = Network.from_graph(topo.graph)
     net.build_routes(targets=[topo.server_id])
 
+    if telemetry is not None:
+        telemetry.bind(net.sim)
     schedule = BernoulliSchedule(params.p, params.epoch_len, seed=seed)
     server = net.nodes[topo.server_id]
     pool = RoamingServerPool(net.sim, [server], schedule, delta=0.0, gamma=0.0)
     defense = HoneypotBackpropDefense(
         pool, net.nodes[topo.server_access_router], IntraASConfig()
     )
+    defense.use_telemetry(telemetry)
     defense.attach(net)
 
     attacker = net.nodes[topo.attacker_id]
@@ -112,16 +121,25 @@ def run_trial(params: ValidationParams, run_index: int) -> Optional[float]:
     max_time = attack_start + 50.0 * params.epoch_len / max(params.p, 1e-6)
     while not defense.captures and net.sim.now < max_time:
         net.run(until=min(net.sim.now + params.epoch_len, max_time))
+    if telemetry is not None:
+        telemetry.snapshot_network(net)
+        telemetry.record_stats(defense.stats(), prefix=f"{defense.name}_")
+        if defense.captures:
+            telemetry.registry.histogram("capture_time_seconds").observe(
+                defense.captures[0].time - attack_start
+            )
     if not defense.captures:
         return None
     return defense.captures[0].time - attack_start
 
 
-def run_validation(params: ValidationParams) -> ValidationOutcome:
+def run_validation(
+    params: ValidationParams, telemetry=None
+) -> ValidationOutcome:
     """Average capture time over replicated runs vs the Eq. (3) bound."""
     times = []
     for i in range(params.runs):
-        t = run_trial(params, i)
+        t = run_trial(params, i, telemetry=telemetry)
         if t is not None:
             times.append(t)
     predicted = basic_continuous(

@@ -1,0 +1,48 @@
+"""repro.obs — unified observability: metrics, spans, self-profiling.
+
+The measurement layer under every experiment: a labeled
+:class:`MetricsRegistry` (counters / gauges / fixed-bucket histograms),
+a :class:`SpanRecorder` that captures the defense lifecycle as
+parent/child span timelines, an :class:`EngineProfiler` for simulator
+self-profiling, and exporters (JSON / CSV / Prometheus text) so every
+run can leave a machine-readable artifact.
+
+:class:`Telemetry` bundles the four and is what scenarios, defenses,
+and benchmarks thread through the stack; components treat a ``None``
+telemetry as "observability off" and skip all instrumentation.
+"""
+
+from .export import (
+    load_json,
+    registry_to_prometheus,
+    series_to_csv,
+    write_csv,
+    write_json,
+)
+from .profile import EngineProfiler
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import Span, SpanRecorder
+from .telemetry import Telemetry
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "load_json",
+    "registry_to_prometheus",
+    "series_to_csv",
+    "write_csv",
+    "write_json",
+]

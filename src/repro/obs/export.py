@@ -1,0 +1,138 @@
+"""Exporters: JSON artifacts, CSV series, Prometheus text format.
+
+Every benchmark and CLI run can emit a machine-readable artifact next
+to (or instead of) its human-readable text — the piece the perf
+trajectory needs to stop being invisible.  JSON is the canonical form
+and round-trips exactly (:func:`load_json` + ``MetricsRegistry.from_dict``
+reproduce the same values); CSV covers time series for spreadsheets;
+the Prometheus text format makes a run scrapeable by standard tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "json_default",
+    "write_json",
+    "load_json",
+    "series_to_csv",
+    "write_csv",
+    "registry_to_prometheus",
+]
+
+
+def json_default(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays and other common simulation types."""
+    for attr in ("item",):  # numpy scalar -> python scalar
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            try:
+                return fn()
+            except (TypeError, ValueError):
+                pass
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if hasattr(obj, "as_dict"):
+        return obj.as_dict()
+    if isinstance(obj, (set, frozenset, tuple)):
+        return sorted(obj) if isinstance(obj, (set, frozenset)) else list(obj)
+    return str(obj)
+
+
+def write_json(path: Union[str, os.PathLike], payload: Dict[str, Any]) -> str:
+    """Write a JSON artifact (parent dirs created); returns the path."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=json_default)
+        fh.write("\n")
+    return path
+
+
+def load_json(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def series_to_csv(
+    columns: Dict[str, Sequence[Any]], header: Optional[List[str]] = None
+) -> str:
+    """Column dict -> CSV text (columns zipped row-wise, short ones
+    padded with empty cells)."""
+    names = header if header is not None else list(columns)
+    n = max((len(columns[c]) for c in names), default=0)
+    lines = [",".join(names)]
+    for i in range(n):
+        row = []
+        for c in names:
+            col = columns[c]
+            row.append(str(col[i]) if i < len(col) else "")
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(
+    path: Union[str, os.PathLike],
+    columns: Dict[str, Sequence[Any]],
+    header: Optional[List[str]] = None,
+) -> str:
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(series_to_csv(columns, header))
+    return path
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize to the Prometheus name charset [a-zA-Z0-9_:]."""
+    return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def registry_to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Prometheus exposition text (counters, gauges, histograms)."""
+    data = registry.as_dict()
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def typed(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for c in data["counters"]:
+        name = _prom_name(f"{prefix}{c['name']}")
+        typed(name, "counter")
+        lines.append(f"{name}{_prom_labels(c['labels'])} {c['value']}")
+    for g in data["gauges"]:
+        name = _prom_name(f"{prefix}{g['name']}")
+        typed(name, "gauge")
+        lines.append(f"{name}{_prom_labels(g['labels'])} {g['value']}")
+    for h in data["histograms"]:
+        name = _prom_name(f"{prefix}{h['name']}")
+        typed(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(h["buckets"], h["counts"]):
+            cumulative += count
+            labels = dict(h["labels"], le=f"{bound:g}")
+            lines.append(f"{name}_bucket{_prom_labels(labels)} {cumulative}")
+        labels = dict(h["labels"], le="+Inf")
+        lines.append(f"{name}_bucket{_prom_labels(labels)} {h['count']}")
+        lines.append(f"{name}_sum{_prom_labels(h['labels'])} {h['sum']}")
+        lines.append(f"{name}_count{_prom_labels(h['labels'])} {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

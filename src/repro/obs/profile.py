@@ -1,0 +1,79 @@
+"""Simulator self-profiling: events/sec, heap high-water, wall time.
+
+The full-scale paper scenarios push tens of millions of events; before
+any scaling work can be trusted we need to know where simulated time
+goes in wall-clock terms.  An :class:`EngineProfiler` attaches to a
+:class:`~repro.sim.engine.Simulator`; the engine then routes ``run()``
+through an instrumented copy of its event loop (the normal loop is
+untouched — a simulator without a profiler pays nothing).
+
+Tracked per simulator, accumulated across ``run()`` calls:
+
+* events processed and wall-clock seconds -> events/sec;
+* event-heap high-water mark (pending events, incl. lazily cancelled);
+* simulated seconds covered -> wall-time per simulated second.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["EngineProfiler"]
+
+
+class EngineProfiler:
+    """Accumulates engine self-profile samples across runs."""
+
+    __slots__ = ("runs", "events", "wall_time", "sim_time", "heap_hwm")
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.events = 0
+        self.wall_time = 0.0
+        self.sim_time = 0.0
+        self.heap_hwm = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, sim: Any) -> "EngineProfiler":
+        """Route ``sim.run()`` through the instrumented loop."""
+        sim.profiler = self
+        if sim.pending() > self.heap_hwm:
+            self.heap_hwm = sim.pending()
+        return self
+
+    def record_run(self, events: int, wall: float, sim_delta: float) -> None:
+        """Called by the engine at the end of each profiled ``run()``."""
+        self.runs += 1
+        self.events += events
+        self.wall_time += wall
+        self.sim_time += sim_delta
+
+    def note_heap(self, depth: int) -> None:
+        if depth > self.heap_hwm:
+            self.heap_hwm = depth
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def wall_per_sim_sec(self) -> float:
+        return self.wall_time / self.sim_time if self.sim_time > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "events_processed": self.events,
+            "wall_time_s": self.wall_time,
+            "sim_time_s": self.sim_time,
+            "events_per_sec": self.events_per_sec,
+            "wall_per_sim_sec": self.wall_per_sim_sec,
+            "heap_hwm_events": self.heap_hwm,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineProfiler(events={self.events}, "
+            f"events/s={self.events_per_sec:.0f}, hwm={self.heap_hwm})"
+        )

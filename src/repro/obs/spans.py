@@ -1,0 +1,218 @@
+"""Span timelines: the defense lifecycle as a tree of timed intervals.
+
+The paper's traceback proceeds as a cascade — honeypot hit, session
+open at the server's access router, HSM diversion, ingress-edge
+identification, inter-AS hops, intra-AS input debugging, port close,
+progressive resume — and debugging a defense means asking *when* each
+stage happened and *under which* session.  A :class:`SpanRecorder`
+records these stages as spans (named intervals in simulation time)
+with parent/child links, so one honeypot session renders as a single
+timeline tree.
+
+Spans are deterministic: ids are assigned in creation order, times are
+simulation times, and the serialized form (:meth:`SpanRecorder.to_dicts`)
+is identical across same-seed runs — the regression tests diff it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+class Span:
+    """One named interval; ``end is None`` while still open.
+
+    Instantaneous occurrences (a port close, a honeypot hit) are spans
+    with ``end == start`` — recorded via :meth:`SpanRecorder.event`.
+    """
+
+    __slots__ = ("span_id", "name", "start", "end", "parent_id", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def is_event(self) -> bool:
+        return self.end == self.start
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = "open" if self.end is None else f"{self.end:.4f}"
+        return f"Span#{self.span_id}({self.name}, {self.start:.4f}->{end})"
+
+
+class SpanRecorder:
+    """Collects spans against a clock (usually ``lambda: sim.now``)."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.spans: List[Span] = []
+        self._by_id: Dict[int, Span] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        at: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; close it with :meth:`end`."""
+        span = Span(
+            len(self.spans),
+            name,
+            self.clock() if at is None else at,
+            parent.span_id if parent is not None else None,
+            attrs,
+        )
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def end(self, span: Span, at: Optional[float] = None, **attrs: Any) -> Span:
+        """Close a span (idempotent: a second end is ignored)."""
+        if span.end is None:
+            span.end = self.clock() if at is None else at
+            if attrs:
+                span.attrs.update(attrs)
+        return span
+
+    def event(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        at: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an instantaneous span (end == start)."""
+        span = self.start(name, parent, at, **attrs)
+        span.end = span.start
+        return span
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        sid = span.span_id
+        return [s for s in self.spans if s.parent_id == sid]
+
+    def find(
+        self,
+        name: Optional[str] = None,
+        predicate: Optional[Callable[[Span], bool]] = None,
+    ) -> List[Span]:
+        out: Iterable[Span] = self.spans
+        if name is not None:
+            out = (s for s in out if s.name == name)
+        if predicate is not None:
+            out = (s for s in out if predicate(s))
+        return list(out)
+
+    def subtree(self, root: Span) -> List[Span]:
+        """The root and every descendant, in creation (= time) order."""
+        keep = {root.span_id}
+        out = [root]
+        for s in self.spans:
+            if s.parent_id in keep:
+                keep.add(s.span_id)
+                out.append(s)
+        return out
+
+    def complete_trees(self, leaf_name: str) -> List[Span]:
+        """Roots whose subtree contains a closed span named ``leaf_name``
+        and whose every span is closed — e.g. a honeypot session that
+        progressed all the way to a port close and was torn down."""
+        out = []
+        for root in self.roots():
+            sub = self.subtree(root)
+            if any(s.end is not None for s in sub if s.name == leaf_name) and all(
+                s.end is not None for s in sub
+            ):
+                out.append(root)
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization and rendering
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [s.as_dict() for s in self.spans]
+
+    @classmethod
+    def from_dicts(cls, dicts: List[Dict[str, Any]]) -> "SpanRecorder":
+        rec = cls()
+        for d in dicts:
+            span = Span(d["span_id"], d["name"], d["start"], d["parent_id"], dict(d["attrs"]))
+            span.end = d["end"]
+            rec.spans.append(span)
+            rec._by_id[span.span_id] = span
+        return rec
+
+    def render_timeline(self, root: Optional[Span] = None, width: int = 40) -> str:
+        """Text gantt of one tree (or all roots when ``root`` is None)."""
+        roots = [root] if root is not None else self.roots()
+        lines: List[str] = []
+        for r in roots:
+            sub = self.subtree(r)
+            t0 = min(s.start for s in sub)
+            t1 = max((s.end if s.end is not None else s.start) for s in sub)
+            extent = max(t1 - t0, 1e-12)
+            depth = {r.span_id: 0}
+            for s in sub:
+                if s.parent_id in depth and s.span_id not in depth:
+                    depth[s.span_id] = depth[s.parent_id] + 1
+            for s in sub:
+                d = depth.get(s.span_id, 0)
+                attrs = " ".join(f"{k}={v}" for k, v in s.attrs.items())
+                left = int(width * (s.start - t0) / extent)
+                if s.end is None:
+                    bar = " " * left + "#..."
+                    times = f"{s.start:9.3f} ->   (open)"
+                elif s.is_event:
+                    bar = " " * min(left, width - 1) + "*"
+                    times = f"{s.start:9.3f}"
+                else:
+                    span_w = max(1, int(width * (s.end - s.start) / extent))
+                    bar = " " * left + "#" * min(span_w, width - left)
+                    times = f"{s.start:9.3f} -> {s.end:9.3f}"
+                label = f"{'  ' * d}{s.name}" + (f" [{attrs}]" if attrs else "")
+                lines.append(f"{label:<44s} {times:>24s} |{bar:<{width}s}|")
+            lines.append("")
+        return "\n".join(lines).rstrip("\n")
+
+    def __len__(self) -> int:
+        return len(self.spans)

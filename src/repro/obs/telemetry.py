@@ -1,0 +1,156 @@
+"""The unified telemetry hub: registry + spans + engine profile.
+
+A :class:`Telemetry` object is the single thing a scenario, defense, or
+benchmark threads through the stack.  Components take an optional
+``telemetry`` argument and guard every use with ``if telemetry is not
+None`` — a run without telemetry constructs no objects and executes no
+instrumentation, so the disabled path costs nothing in the hot loop.
+
+The hub also owns the *session-span index*: the honeypot defense's
+lifecycle spans are produced by agents that never hold references to
+each other (server trigger agents, per-router back-propagation agents,
+HSMs), so they rendezvous here on ``(honeypot_addr, epoch)`` to build
+one tree per honeypot session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .export import registry_to_prometheus, write_json
+from .profile import EngineProfiler
+from .registry import MetricsRegistry
+from .spans import Span, SpanRecorder
+
+__all__ = ["Telemetry"]
+
+SessionKey = Tuple[int, int]  # (honeypot addr, epoch)
+
+
+class Telemetry:
+    """Bundle of the observability primitives for one run."""
+
+    def __init__(self, sim: Optional[Any] = None) -> None:
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self.profiler = EngineProfiler()
+        self.session_spans: Dict[SessionKey, Span] = {}
+        # Free-form run-level payload merged into the artifact (figure
+        # series, scenario parameters, capture summaries, ...).
+        self.extra: Dict[str, Any] = {}
+        if sim is not None:
+            self.bind(sim)
+
+    def bind(self, sim: Any) -> "Telemetry":
+        """Clock the spans off ``sim`` and profile its event loop."""
+        self.spans.clock = lambda: sim.now
+        self.profiler.attach(sim)
+        return self
+
+    # ------------------------------------------------------------------
+    # Honeypot-session span rendezvous
+    # ------------------------------------------------------------------
+    def open_session(
+        self, honeypot_addr: int, epoch: int, **attrs: Any
+    ) -> Span:
+        """Root span of one honeypot session (idempotent per key)."""
+        key = (honeypot_addr, epoch)
+        span = self.session_spans.get(key)
+        if span is None:
+            span = self.spans.start(
+                "honeypot_session", honeypot=honeypot_addr, epoch=epoch, **attrs
+            )
+            self.session_spans[key] = span
+            self.registry.counter("honeypot_sessions_total").inc()
+        return span
+
+    def session_span(self, honeypot_addr: int, epoch: int) -> Optional[Span]:
+        return self.session_spans.get((honeypot_addr, epoch))
+
+    def close_session(self, honeypot_addr: int, epoch: int, **attrs: Any) -> None:
+        span = self.session_spans.get((honeypot_addr, epoch))
+        if span is not None:
+            self.spans.end(span, **attrs)
+
+    # ------------------------------------------------------------------
+    # Post-run collection
+    # ------------------------------------------------------------------
+    def snapshot_network(self, net: Any) -> None:
+        """Fold a :class:`~repro.sim.network.Network`'s own counters into
+        the registry.  This is how the hot path stays uninstrumented:
+        links and routers count for themselves (plain attribute adds
+        they do anyway), and the totals are collected once, here."""
+        reg = self.registry
+        from ..sim.node import Host, Router  # local import avoids a cycle
+
+        recv = orig = fwd = filt = noroute = 0
+        host_bytes = 0
+        for node in net.nodes.values():
+            recv += node.packets_received
+            orig += node.packets_originated
+            if isinstance(node, Router):
+                fwd += node.packets_forwarded
+                filt += node.packets_filtered
+                noroute += node.no_route_drops
+            elif isinstance(node, Host):
+                host_bytes += node.bytes_received
+        reg.counter("node_packets_received_total").inc(recv)
+        reg.counter("node_packets_originated_total").inc(orig)
+        reg.counter("router_packets_forwarded_total").inc(fwd)
+        reg.counter("router_packets_filtered_total").inc(filt)
+        reg.counter("router_no_route_drops_total").inc(noroute)
+        reg.counter("host_bytes_received_total").inc(host_bytes)
+
+        sent = dropped = sent_bytes = qdepth = 0
+        qmax = 0
+        for link in net.links:
+            for ch in (link.ab, link.ba):
+                sent += ch.packets_sent
+                sent_bytes += ch.bytes_sent
+                dropped += ch.packets_dropped
+                qdepth += len(ch.queue)
+                qmax = max(qmax, len(ch.queue))
+        reg.counter("channel_packets_sent_total").inc(sent)
+        reg.counter("channel_bytes_sent_total").inc(sent_bytes)
+        reg.counter("channel_packets_dropped_total").inc(dropped)
+        reg.gauge("queue_depth_packets").set(qdepth)
+        reg.gauge("queue_depth_packets_max_channel").set(qmax)
+        reg.counter("sim_events_processed_total").inc(net.sim.events_processed)
+
+    def record_stats(self, stats: Dict[str, Any], prefix: str = "") -> None:
+        """Numeric entries of a ``Defense.stats()`` dict -> counters."""
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.registry.counter(f"{prefix}{key}").inc(value)
+
+    # ------------------------------------------------------------------
+    # Artifact assembly
+    # ------------------------------------------------------------------
+    def artifact(self) -> Dict[str, Any]:
+        """The machine-readable run artifact (JSON-serializable)."""
+        payload: Dict[str, Any] = {
+            "schema": "repro.obs/1",
+            "metrics": self.registry.as_dict(),
+            "spans": self.spans.to_dicts(),
+            "engine": self.profiler.as_dict(),
+        }
+        payload.update(self.extra)
+        return payload
+
+    def write(self, path: str) -> str:
+        return write_json(path, self.artifact())
+
+    def render(self) -> str:
+        """Human-readable dump: prometheus text + span timelines."""
+        parts = [registry_to_prometheus(self.registry)]
+        if self.spans.spans:
+            parts.append(self.spans.render_timeline())
+        prof = self.profiler.as_dict()
+        if prof["events_processed"]:
+            parts.append(
+                "engine: {events_processed} events, {events_per_sec:.0f} ev/s, "
+                "{wall_per_sim_sec:.4f} wall-s per sim-s, "
+                "heap hwm {heap_hwm_events}".format(**prof)
+            )
+        return "\n".join(p for p in parts if p)

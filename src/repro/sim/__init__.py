@@ -37,6 +37,7 @@ __all__ = [
     "PacketKind",
     "REDQueue",
     "RngRegistry",
+    "Router",
     "SimulationError",
     "Simulator",
     "ThroughputMonitor",

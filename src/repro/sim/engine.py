@@ -74,6 +74,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        # Self-profiling (repro.obs.EngineProfiler.attach sets this).
+        # run() dispatches to an instrumented copy of the loop when a
+        # profiler is attached, so the normal loop pays nothing.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -128,6 +132,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
+        if self.profiler is not None:
+            return self._run_profiled(until)
         self._running = True
         self._stopped = False
         heap = self._heap
@@ -148,6 +154,44 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+
+    def _run_profiled(self, until: Optional[float] = None) -> None:
+        """The same event loop as :meth:`run`, instrumented for the
+        attached profiler: wall-clock timing and the event-heap
+        high-water mark.  Kept as a separate copy so the unprofiled
+        loop carries zero instrumentation cost."""
+        from time import perf_counter
+
+        prof = self.profiler
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        processed = 0
+        hwm = len(heap)
+        sim_start = self.now
+        wall_start = perf_counter()
+        try:
+            while heap:
+                if len(heap) > hwm:
+                    hwm = len(heap)
+                time, _, ev = heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = time
+                ev.fn(*ev.args)
+                processed += 1
+                if self._stopped:
+                    break
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+            self.events_processed += processed
+            prof.note_heap(hwm)
+            prof.record_run(processed, perf_counter() - wall_start, self.now - sim_start)
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""

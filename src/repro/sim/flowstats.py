@@ -83,11 +83,22 @@ class FlowRecord:
 
 
 class FlowStats:
-    """Collects per-flow records at a set of sink hosts."""
+    """Collects per-flow records at a set of sink hosts.
 
-    def __init__(self, sim: Simulator, sinks: Sequence[Host]) -> None:
+    With a :class:`repro.obs.MetricsRegistry`, per-packet latency is
+    additionally sampled into a ``flow_latency_seconds`` histogram.
+    """
+
+    def __init__(
+        self, sim: Simulator, sinks: Sequence[Host], registry=None
+    ) -> None:
         self.sim = sim
         self.flows: Dict[Any, FlowRecord] = {}
+        self._latency_hist = (
+            registry.histogram("flow_latency_seconds")
+            if registry is not None
+            else None
+        )
         for host in sinks:
             host.on_deliver(self._on_packet)
 
@@ -98,7 +109,10 @@ class FlowStats:
         if rec is None:
             rec = FlowRecord(pkt.flow)
             self.flows[pkt.flow] = rec
-        rec.record(self.sim.now - pkt.created_at, pkt.size)
+        latency = self.sim.now - pkt.created_at
+        rec.record(latency, pkt.size)
+        if self._latency_hist is not None:
+            self._latency_hist.observe(latency)
 
     # ------------------------------------------------------------------
     def set_expected(self, flow: Any, sent: int) -> None:

@@ -5,6 +5,13 @@ percentage of the bottleneck link capacity* (Figs. 8, 10, 11), sampled
 over time and averaged over the attack window.  These monitors count
 bytes delivered at the servers, classified by the ground-truth origin
 of each packet (``true_src``), which is measurement-only information.
+
+Both monitors sit on top of :mod:`repro.obs`: pass a
+:class:`~repro.obs.MetricsRegistry` and every delivered packet is also
+counted into labeled ``delivered_packets_total`` /
+``delivered_bytes_total`` counters, making the per-class totals part of
+the run's machine-readable artifact.  Without a registry the monitors
+behave exactly as before (no registry object is ever consulted).
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ class ThroughputMonitor:
         ``"attack"``); packets mapped to None are ignored.
     interval:
         Sampling period in seconds.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`; delivered packets
+        and bytes are additionally counted per class label.
     """
 
     def __init__(
@@ -38,16 +48,19 @@ class ThroughputMonitor:
         hosts: Sequence[Host],
         classify: Callable[[Packet], Optional[str]],
         interval: float = 1.0,
+        registry=None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive (got {interval})")
         self.sim = sim
         self.classify = classify
         self.interval = interval
+        self.registry = registry
         self._acc: Dict[str, int] = {}
         self.times: List[float] = []
         self.series: Dict[str, List[float]] = {}
         self._timer: Optional[Timer] = None
+        self._last_sample_at: float = sim.now
         for host in hosts:
             host.on_deliver(self._on_packet)
 
@@ -57,8 +70,13 @@ class ThroughputMonitor:
         if label is None:
             return
         self._acc[label] = self._acc.get(label, 0) + pkt.size
+        if self.registry is not None:
+            self.registry.counter("delivered_packets_total", cls=label).inc()
+            self.registry.counter("delivered_bytes_total", cls=label).inc(pkt.size)
 
-    def _sample(self) -> None:
+    def _sample(self, interval: Optional[float] = None) -> None:
+        interval = self.interval if interval is None else interval
+        self._last_sample_at = self.sim.now
         self.times.append(self.sim.now)
         seen = set(self._acc) | set(self.series)
         for label in seen:
@@ -66,19 +84,26 @@ class ThroughputMonitor:
             # Pad labels that appeared late.
             while len(series) < len(self.times) - 1:
                 series.append(0.0)
-            bits_per_s = self._acc.get(label, 0) * 8.0 / self.interval
+            bits_per_s = self._acc.get(label, 0) * 8.0 / interval
             series.append(bits_per_s)
         self._acc.clear()
 
     def start(self) -> None:
         """Begin periodic sampling (first sample one interval from now)."""
         if self._timer is None:
+            self._last_sample_at = self.sim.now
             self._timer = self.sim.every(self.interval, self._sample)
 
     def stop(self) -> None:
+        """Stop sampling, emitting a final partial sample so bytes
+        delivered after the last timer tick are not silently dropped
+        (the partial sample is rate-normalized by its actual length)."""
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+            partial = self.sim.now - self._last_sample_at
+            if self._acc and partial > 0:
+                self._sample(interval=partial)
 
     # ------------------------------------------------------------------
     def rate_series(self, label: str) -> Tuple[List[float], List[float]]:
@@ -89,13 +114,22 @@ class ThroughputMonitor:
         """Series of ``label`` throughput as % of ``capacity_bps``."""
         return [100.0 * v / capacity_bps for v in self.series.get(label, [])]
 
+    def to_dict(self) -> Dict[str, object]:
+        """The sampled series as a JSON-ready payload."""
+        return {
+            "interval_s": self.interval,
+            "times": list(self.times),
+            "series_bps": {label: list(vals) for label, vals in self.series.items()},
+        }
+
 
 class FlowCounter:
     """Per-origin delivered byte counts at a set of hosts."""
 
-    def __init__(self, hosts: Sequence[Host]) -> None:
+    def __init__(self, hosts: Sequence[Host], registry=None) -> None:
         self.by_true_src: Dict[int, int] = {}
         self.total_bytes = 0
+        self.registry = registry
         for host in hosts:
             host.on_deliver(self._on_packet)
 
@@ -104,6 +138,9 @@ class FlowCounter:
             self.by_true_src.get(pkt.true_src, 0) + pkt.size
         )
         self.total_bytes += pkt.size
+        if self.registry is not None:
+            self.registry.counter("flow_bytes_total").inc(pkt.size)
+            self.registry.gauge("flow_origins").set(len(self.by_true_src))
 
 
 def mean_over_window(

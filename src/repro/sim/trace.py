@@ -41,18 +41,29 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records from tapped components."""
+    """Collects :class:`TraceEvent` records from tapped components.
 
-    def __init__(self, sim: Simulator, max_events: int = 100_000) -> None:
+    When built with a :class:`repro.obs.MetricsRegistry`, every traced
+    event is also counted into ``trace_events_total{kind=...}``, so a
+    run artifact carries the per-kind totals even when the raw trace is
+    too large to keep.
+    """
+
+    def __init__(
+        self, sim: Simulator, max_events: int = 100_000, registry=None
+    ) -> None:
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.sim = sim
         self.max_events = max_events
+        self.registry = registry
         self.events: List[TraceEvent] = []
         self.overflowed = False
 
     # ------------------------------------------------------------------
     def _record(self, event: TraceEvent) -> None:
+        if self.registry is not None:
+            self.registry.counter("trace_events_total", kind=event.kind).inc()
         if len(self.events) >= self.max_events:
             self.overflowed = True
             return
@@ -105,8 +116,10 @@ class Tracer:
     def tap_node_filter(self, node: Node) -> None:
         """Trace packets consumed by a router's ingress hooks.
 
-        Wraps each hook currently installed; hooks added *after* the
-        tap are not traced (tap last, after attaching the defense).
+        Wraps each hook currently installed *and* the node's
+        ``add_ingress_hook`` method, so hooks the defense installs
+        after the tap (e.g. port-close filters created mid-attack) are
+        traced too.
         """
         hooks = getattr(node, "ingress_hooks", None)
         if hooks is None:
@@ -130,6 +143,21 @@ class Tracer:
 
         hooks[:] = [wrap(h) for h in hooks]
 
+        original_add = node.add_ingress_hook
+        original_remove = node.remove_ingress_hook
+        wrapped_of = {}
+
+        def add_ingress_hook(hook):
+            wrapped = wrap(hook)
+            wrapped_of[id(hook)] = wrapped
+            return original_add(wrapped)
+
+        def remove_ingress_hook(hook):
+            return original_remove(wrapped_of.pop(id(hook), hook))
+
+        node.add_ingress_hook = add_ingress_hook  # type: ignore[method-assign]
+        node.remove_ingress_hook = remove_ingress_hook  # type: ignore[method-assign]
+
     # ------------------------------------------------------------------
     def filter(
         self,
@@ -149,10 +177,20 @@ class Tracer:
             out = (e for e in out if predicate(e))
         return list(out)
 
-    def render(self, limit: int = 50) -> str:
-        lines = [e.render() for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+    def render(self, limit: int = 50, tail: bool = False) -> str:
+        """First (or, with ``tail=True``, last) ``limit`` events as text."""
+        omitted = len(self.events) - limit
+        if tail:
+            shown = self.events[-limit:]
+        else:
+            shown = self.events[:limit]
+        lines = [e.render() for e in shown]
+        if omitted > 0:
+            note = f"... {omitted} more events"
+            if tail:
+                lines.insert(0, note)
+            else:
+                lines.append(note)
         if self.overflowed:
             lines.append("[tracer overflowed: events were discarded]")
         return "\n".join(lines)

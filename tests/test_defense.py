@@ -1,6 +1,5 @@
 """Unit tests for the defense harness layer."""
 
-import pytest
 
 from repro.defense.base import Defense, NoDefense
 from repro.defense.honeypot_backprop import HoneypotBackpropDefense

@@ -1,6 +1,5 @@
 """Tests for intra-AS traffic diversion to the HSM (Section 5.1)."""
 
-import pytest
 
 from repro.backprop.diversion import (
     EdgeRouterAgent,

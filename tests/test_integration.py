@@ -3,7 +3,6 @@ don't directly assert."""
 
 from dataclasses import replace
 
-import pytest
 
 from repro.backprop.intraas import IntraASConfig
 from repro.defense.honeypot_backprop import HoneypotBackpropDefense
@@ -12,7 +11,7 @@ from repro.honeypots.roaming import RoamingServerPool
 from repro.honeypots.schedule import BernoulliSchedule
 from repro.sim.network import Network
 from repro.topology.string import build_string_topology
-from repro.traffic.sources import CBRSource, OnOffSource
+from repro.traffic.sources import CBRSource
 
 FAST = TreeScenarioParams(
     n_leaves=30,

@@ -1,12 +1,6 @@
 """Integration tests for intra-AS (router-level) back-propagation."""
 
-import pytest
-
-from repro.backprop.intraas import (
-    BackpropRouterAgent,
-    HoneypotServerAgent,
-    IntraASConfig,
-)
+from repro.backprop.intraas import IntraASConfig
 from repro.backprop.messages import LocalHoneypotRequest
 from repro.defense.honeypot_backprop import HoneypotBackpropDefense
 from repro.honeypots.roaming import RoamingServerPool

@@ -5,7 +5,7 @@ import pytest
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Host, Router
-from repro.sim.packet import Packet, PacketKind
+from repro.sim.packet import Packet
 
 
 def make_pair(bw=8000.0, delay=0.1, qlimit=2):

@@ -57,6 +57,49 @@ class TestThroughputMonitor:
         sim.run(until=5.0)
         assert len(mon.times) == 1
 
+    def test_stop_emits_rate_normalized_partial_sample(self):
+        sim, host, mon = self.make()
+        # 125 bytes delivered at t=1.2, stop at t=1.5: the final half
+        # interval (0.5 s) holds 1000 bits -> 2000 b/s.
+        sim.schedule(1.2, host.receive, Packet(1, 0, 125, flow=("legit", 1)), None)
+        sim.schedule(1.5, mon.stop)
+        sim.run(until=5.0)
+        times, series = mon.rate_series("legit")
+        assert times == [1.0, 1.5]
+        assert series == pytest.approx([0.0, 2000.0])
+
+    def test_stop_without_pending_bytes_adds_no_sample(self):
+        sim, host, mon = self.make()
+        sim.schedule(1.5, mon.stop)
+        sim.run(until=5.0)
+        assert mon.times == [1.0]
+
+    def test_to_dict_payload(self):
+        sim, host, mon = self.make()
+        sim.schedule(0.5, host.receive, Packet(1, 0, 125, flow=("legit", 1)), None)
+        sim.run(until=1.5)
+        d = mon.to_dict()
+        assert d["interval_s"] == 1.0
+        assert d["times"] == [1.0]
+        assert d["series_bps"]["legit"] == pytest.approx([1000.0])
+
+    def test_registry_counts_per_class(self):
+        from repro.obs import MetricsRegistry
+
+        sim = Simulator()
+        host = Host(sim, 0)
+        reg = MetricsRegistry()
+        ThroughputMonitor(
+            sim,
+            [host],
+            classify=lambda p: p.flow[0] if p.flow else None,
+            registry=reg,
+        )
+        sim.schedule(0.5, host.receive, Packet(1, 0, 125, flow=("legit", 1)), None)
+        sim.run(until=1.0)
+        assert reg.value("delivered_packets_total", cls="legit") == 1
+        assert reg.value("delivered_bytes_total", cls="legit") == 125
+
     def test_invalid_interval(self):
         sim = Simulator()
         with pytest.raises(ValueError):

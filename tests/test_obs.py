@@ -1,0 +1,345 @@
+"""Tests for the unified telemetry layer (repro.obs)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    EngineProfiler,
+    Histogram,
+    MetricsRegistry,
+    SpanRecorder,
+    Telemetry,
+    load_json,
+    registry_to_prometheus,
+    series_to_csv,
+    write_json,
+)
+from repro.sim.engine import Simulator
+
+
+class TestRegistry:
+    def test_counter_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("pkts", cls="legit").inc(3)
+        reg.counter("pkts", cls="legit").inc(2)
+        reg.counter("pkts", cls="attack").inc()
+        assert reg.value("pkts", cls="legit") == 5
+        assert reg.value("pkts", cls="attack") == 1
+        assert reg.value("pkts", cls="missing") == 0
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("m", a=1, b=2).inc()
+        reg.counter("m", b=2, a=1).inc()
+        assert reg.value("m", a=1, b=2) == 2
+
+    def test_gauge_tracks_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(4)
+        g.set(9)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_value == 9
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 4
+
+    def test_histogram_buckets_and_quantile(self):
+        h = Histogram(buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]  # last is the +inf overflow
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.5)
+        assert h.mean == pytest.approx(21.3)
+        assert h.quantile(0.2) == 1.0
+        assert h.quantile(0.6) == 2.0
+        assert math.isinf(h.quantile(1.0))
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_disabled_registry_is_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(10)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        assert len(reg) == 0
+        assert reg.value("c") == 0
+        assert reg.as_dict() == {"counters": [], "gauges": [], "histograms": []}
+        # The null instruments are shared singletons.
+        assert reg.counter("a") is reg.counter("b")
+
+    def test_values_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("pkts", cls="a").inc(1)
+        reg.counter("pkts", cls="b").inc(2)
+        reg.gauge("depth").set(3)
+        assert reg.values("pkts") == {
+            (("cls", "a"),): 1,
+            (("cls", "b"),): 2,
+        }
+        assert reg.names() == ["depth", "pkts"]
+
+    def test_round_trip_exact(self):
+        reg = MetricsRegistry()
+        reg.counter("c", cls="x").inc(7)
+        g = reg.gauge("g")
+        g.set(9)
+        g.set(4)
+        h = reg.histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(50.0)
+        clone = MetricsRegistry.from_dict(reg.as_dict())
+        assert clone.as_dict() == reg.as_dict()
+        # ... and survives an actual JSON encode/decode.
+        again = MetricsRegistry.from_dict(
+            json.loads(json.dumps(reg.as_dict()))
+        )
+        assert again.as_dict() == reg.as_dict()
+
+    def test_merge_folds_counts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.histogram("h", buckets=(1.0,)).observe(0.5)
+        a.merge(b)
+        assert a.value("c") == 3
+        assert a.histogram("h", buckets=(1.0,)).count == 1
+
+
+class TestSpans:
+    def test_nesting_and_events(self):
+        rec = SpanRecorder()
+        now = [0.0]
+        rec.clock = lambda: now[0]
+        root = rec.start("session", honeypot=9)
+        now[0] = 1.0
+        child = rec.start("hop", parent=root)
+        rec.event("port_close", parent=child, host=4)
+        now[0] = 2.0
+        rec.end(child)
+        rec.end(root)
+        assert rec.roots() == [root]
+        assert rec.children(root) == [child]
+        assert [s.name for s in rec.subtree(root)] == [
+            "session", "hop", "port_close",
+        ]
+        (evt,) = rec.find("port_close")
+        assert evt.is_event and evt.start == 1.0
+        assert child.duration == pytest.approx(1.0)
+
+    def test_end_is_idempotent(self):
+        rec = SpanRecorder()
+        s = rec.start("x")
+        rec.end(s, at=5.0)
+        rec.end(s, at=99.0)
+        assert s.end == 5.0
+
+    def test_complete_trees_requires_closed_subtree(self):
+        rec = SpanRecorder()
+        root = rec.start("session")
+        rec.event("port_close", parent=root)
+        assert rec.complete_trees("port_close") == []  # root still open
+        rec.end(root)
+        assert rec.complete_trees("port_close") == [root]
+        # A tree without the leaf never qualifies.
+        other = rec.start("session")
+        rec.end(other)
+        assert rec.complete_trees("port_close") == [root]
+
+    def test_serialization_round_trip(self):
+        rec = SpanRecorder()
+        root = rec.start("a", k=1)
+        rec.event("b", parent=root)
+        rec.end(root, at=3.0)
+        clone = SpanRecorder.from_dicts(rec.to_dicts())
+        assert clone.to_dicts() == rec.to_dicts()
+
+    def test_render_timeline_shows_tree(self):
+        rec = SpanRecorder()
+        now = [0.0]
+        rec.clock = lambda: now[0]
+        root = rec.start("session")
+        now[0] = 2.0
+        rec.event("port_close", parent=root)
+        now[0] = 4.0
+        rec.end(root)
+        text = rec.render_timeline()
+        assert "session" in text
+        assert "  port_close" in text  # indented under the root
+        assert "*" in text  # event marker
+
+
+class TestProfiler:
+    def test_profiles_a_run(self):
+        sim = Simulator()
+        prof = EngineProfiler()
+        prof.attach(sim)
+        for i in range(100):
+            sim.schedule(i * 0.01, lambda: None)
+        sim.run()
+        d = prof.as_dict()
+        assert d["events_processed"] == 100
+        assert d["runs"] == 1
+        assert d["sim_time_s"] == pytest.approx(0.99)
+        assert d["wall_time_s"] > 0
+        assert d["heap_hwm_events"] >= 1
+
+    def test_unprofiled_run_matches(self):
+        def load(sim):
+            for i in range(50):
+                sim.schedule(i * 0.01, lambda: None)
+
+        plain = Simulator()
+        load(plain)
+        plain.run()
+        profiled = Simulator()
+        EngineProfiler().attach(profiled)
+        load(profiled)
+        profiled.run()
+        assert profiled.events_processed == plain.events_processed
+        assert profiled.now == plain.now
+
+
+class TestExport:
+    def test_json_artifact_round_trip(self, tmp_path):
+        tele = Telemetry()
+        tele.registry.counter("c").inc(2)
+        root = tele.spans.start("session")
+        tele.spans.end(root, at=1.0)
+        path = tmp_path / "artifact.json"
+        tele.write(path)
+        data = load_json(path)
+        assert data["schema"] == "repro.obs/1"
+        clone = MetricsRegistry.from_dict(data["metrics"])
+        assert clone.as_dict() == tele.registry.as_dict()
+        spans = SpanRecorder.from_dicts(data["spans"])
+        assert spans.to_dicts() == tele.spans.to_dicts()
+
+    def test_write_json_coerces_numpy(self, tmp_path):
+        import numpy as np
+
+        path = write_json(tmp_path / "x.json", {"a": np.float64(1.5), "b": {3, 1}})
+        data = load_json(path)
+        assert data == {"a": 1.5, "b": [1, 3]}
+
+    def test_series_to_csv_pads_short_columns(self):
+        text = series_to_csv({"t": [1, 2, 3], "v": [10]})
+        assert text.splitlines() == ["t,v", "1,10", "2,", "3,"]
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("pkts_total", cls="legit").inc(5)
+        reg.gauge("depth").set(2)
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = registry_to_prometheus(reg)
+        assert "# TYPE repro_pkts_total counter" in text
+        assert 'repro_pkts_total{cls="legit"} 5' in text
+        assert "repro_depth 2" in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+
+    def test_prometheus_sanitizes_names(self):
+        reg = MetricsRegistry()
+        reg.counter("honeypot-backprop_captures").inc(1)
+        text = registry_to_prometheus(reg)
+        assert "repro_honeypot_backprop_captures 1" in text
+        assert "honeypot-backprop" not in text
+
+    def test_histogram_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 300.0
+
+
+class TestTelemetryIntegration:
+    """End-to-end checks on real (small, fixed-seed) simulations."""
+
+    @staticmethod
+    def _trial(telemetry):
+        from repro.experiments.validation import ValidationParams, run_trial
+
+        params = ValidationParams(hops=3, p=0.5, epoch_len=5.0, runs=1, seed=3)
+        return run_trial(params, 0, telemetry=telemetry)
+
+    def test_telemetry_does_not_perturb_the_simulation(self):
+        t_plain = self._trial(None)
+        t_instr = self._trial(Telemetry())
+        assert t_instr == pytest.approx(t_plain)
+
+    def test_fixed_seed_artifact_is_identical(self):
+        """Zero-drift regression: same seed, same artifact, bit for bit
+        (span ids, times, counter values — everything but wall time)."""
+        artifacts = []
+        for _ in range(2):
+            tele = Telemetry()
+            self._trial(tele)
+            artifacts.append(
+                {"metrics": tele.registry.as_dict(), "spans": tele.spans.to_dicts()}
+            )
+        assert artifacts[0] == artifacts[1]
+
+    def test_trial_produces_session_spans_and_metrics(self):
+        tele = Telemetry()
+        captured = self._trial(tele)
+        assert captured is not None
+        assert tele.registry.value("node_packets_received_total") > 0
+        assert tele.spans.find("honeypot_session")
+        assert tele.spans.find("port_close")
+        hist = tele.registry.histogram("capture_time_seconds")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(captured)
+
+    def test_scenario_has_complete_session_tree(self):
+        from dataclasses import replace
+
+        from repro.experiments.scenarios import (
+            TreeScenarioParams,
+            run_tree_scenario,
+        )
+
+        params = TreeScenarioParams(
+            n_leaves=30,
+            n_attackers=5,
+            duration=40.0,
+            attack_start=5.0,
+            attack_end=35.0,
+            seed=2,
+        )
+        tele = Telemetry()
+        res = run_tree_scenario(params, telemetry=tele)
+        # At least one honeypot session progressed all the way from
+        # open to port close and was torn down.
+        complete = tele.spans.complete_trees("port_close")
+        assert complete
+        assert res.capture_times
+        # The per-class delivery counters made it into the registry.
+        assert tele.registry.value("delivered_packets_total", cls="legit") > 0
+        assert tele.registry.value("delivered_packets_total", cls="attack") > 0
+        # Engine self-profile saw the run.
+        prof = tele.profiler.as_dict()
+        assert prof["events_processed"] > 0
+        assert prof["events_per_sec"] > 0
+        # The throughput series landed in the artifact extras.
+        art = tele.artifact()
+        assert art["throughput"]["times"]
+        assert "legit" in art["throughput"]["series_bps"]
+        # Disabled-path equivalence: the same scenario without telemetry
+        # produces the same captures.
+        res_plain = run_tree_scenario(replace(params))
+        assert res_plain.capture_times == res.capture_times

@@ -1,7 +1,6 @@
 """Tests for the ACC/Pushback baseline."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for handshake-verified blacklisting in the packet simulator."""
 
-import pytest
 
 from repro.honeypots.roaming import RoamingServerPool
 from repro.honeypots.schedule import BernoulliSchedule

@@ -74,6 +74,41 @@ class TestTracer:
         sim.run()
         assert len(tracer.filter(kind="filtered", where="r")) == 1
 
+    def test_filtered_events_from_hook_installed_after_tap(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer.tap_node_filter(r)
+        # The defense installs its hook *after* the tap (the port-close
+        # filters appear mid-attack); it must still be traced.
+        r.add_ingress_hook(lambda pkt, ch: pkt.dst == 2)
+        a.originate(Packet(0, 2, 100))
+        sim.run()
+        assert len(tracer.filter(kind="filtered", where="r")) == 1
+
+    def test_late_hook_can_still_be_removed(self):
+        sim, a, r, b, l1 = build()
+        tracer = Tracer(sim)
+        tracer.tap_node_filter(r)
+        hook = lambda pkt, ch: True  # noqa: E731
+        r.add_ingress_hook(hook)
+        r.remove_ingress_hook(hook)
+        assert r.ingress_hooks == []
+        a.originate(Packet(0, 2, 100))
+        sim.run()
+        assert tracer.filter(kind="filtered") == []
+        assert b.packets_received == 1
+
+    def test_registry_counts_traced_events(self):
+        from repro.obs import MetricsRegistry
+
+        sim, a, r, b, l1 = build()
+        reg = MetricsRegistry()
+        tracer = Tracer(sim, registry=reg)
+        tracer.tap_host(b)
+        a.originate(Packet(0, 2, 100))
+        sim.run()
+        assert reg.value("trace_events_total", kind="deliver") == 1
+
     def test_filter_queries(self):
         sim, a, r, b, l1 = build()
         tracer = Tracer(sim)
@@ -98,6 +133,20 @@ class TestTracer:
         tracer._record(TraceEvent(1.25, "deliver", "b", 3, 4, 99, "flow=x"))
         txt = tracer.render()
         assert "deliver" in txt and "3->4" in txt
+
+    def test_render_limit_and_tail(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        for i in range(10):
+            tracer._record(TraceEvent(float(i), "drop", "x", 0, 1, 10))
+        head = tracer.render(limit=3)
+        assert "0.0000" in head and "9.0000" not in head
+        assert head.rstrip().endswith("... 7 more events")
+        tail = tracer.render(limit=3, tail=True)
+        assert "9.0000" in tail and "0.0000" not in tail
+        assert tail.splitlines()[0] == "... 7 more events"
+        # No note when everything fits.
+        assert "more events" not in tracer.render(limit=10)
 
     def test_tap_non_router_rejected(self):
         sim, a, r, b, l1 = build()

@@ -4,13 +4,11 @@ import numpy as np
 import pytest
 
 from repro.crypto.hashchain import HashChain
-from repro.honeypots.roaming import RoamingServerPool
-from repro.honeypots.schedule import BernoulliSchedule, RoamingSchedule
+from repro.honeypots.schedule import RoamingSchedule
 from repro.honeypots.subscription import SubscriptionService
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Host
-from repro.sim.packet import PacketKind
 from repro.traffic.attacker import (
     SPOOF_BASE,
     AttackHost,
