@@ -12,8 +12,8 @@ back-propagation is high and placement-insensitive.
 
 from dataclasses import replace
 
-from repro.experiments.runner import render_table
-from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+from repro.experiments.runner import render_table, run_many
+from repro.experiments.scenarios import TreeScenarioParams
 
 BASE = TreeScenarioParams(
     n_leaves=100,
@@ -30,14 +30,18 @@ DEFENSES = ("honeypot", "pushback", "none")
 
 
 def run_grid():
-    grid = {}
-    for placement in PLACEMENTS:
-        for defense in DEFENSES:
-            res = run_tree_scenario(
-                replace(BASE, placement=placement, defense=defense)
+    # The 9 grid cells are independent: run_many fans them out over the
+    # worker pool when $REPRO_JOBS is set, identically to a serial run.
+    results = run_many(
+        {
+            (placement, defense): replace(
+                BASE, placement=placement, defense=defense
             )
-            grid[(placement, defense)] = res.legit_pct_during_attack
-    return grid
+            for placement in PLACEMENTS
+            for defense in DEFENSES
+        }
+    )
+    return {key: res.legit_pct_during_attack for key, res in results.items()}
 
 
 def test_fig10_attacker_locations(benchmark, report):

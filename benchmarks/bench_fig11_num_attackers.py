@@ -12,8 +12,8 @@ few epochs regardless of the count.
 
 from dataclasses import replace
 
-from repro.experiments.runner import render_table
-from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+from repro.experiments.runner import render_table, run_many
+from repro.experiments.scenarios import TreeScenarioParams
 
 BASE = TreeScenarioParams(
     n_leaves=100,
@@ -30,12 +30,16 @@ DEFENSES = ("honeypot", "pushback", "none")
 
 
 def run_grid():
-    grid = {}
-    for n in COUNTS:
-        for defense in DEFENSES:
-            res = run_tree_scenario(replace(BASE, n_attackers=n, defense=defense))
-            grid[(n, defense)] = res.legit_pct_during_attack
-    return grid
+    # The 12 grid cells are independent: run_many fans them out over
+    # the worker pool when $REPRO_JOBS is set, identically to serial.
+    results = run_many(
+        {
+            (n, defense): replace(BASE, n_attackers=n, defense=defense)
+            for n in COUNTS
+            for defense in DEFENSES
+        }
+    )
+    return {key: res.legit_pct_during_attack for key, res in results.items()}
 
 
 def test_fig11_number_of_attackers(benchmark, report):

@@ -11,7 +11,8 @@ Pushback and no defense stay degraded until the attack ends.
 
 from dataclasses import replace
 
-from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+from repro.experiments.runner import run_many
+from repro.experiments.scenarios import TreeScenarioParams
 from repro.sim.monitor import mean_over_window
 
 BASE = TreeScenarioParams(
@@ -27,10 +28,14 @@ BASE = TreeScenarioParams(
 
 
 def run_all():
-    return {
-        name: run_tree_scenario(replace(BASE, defense=name))
-        for name in ("honeypot", "pushback", "none")
-    }
+    # run_many honors $REPRO_JOBS: the three defenses fan out over the
+    # worker pool when set, with results identical to a serial run.
+    return run_many(
+        {
+            name: replace(BASE, defense=name)
+            for name in ("honeypot", "pushback", "none")
+        }
+    )
 
 
 def test_fig8_throughput_timeplot(benchmark, report):

@@ -4,8 +4,12 @@ Usage::
 
     python -m repro list
     python -m repro fig8 --scale quick
+    python -m repro fig11 --scale quick --jobs 4
     python -m repro fig8 --scale quick --metrics-out out.json
     python -m repro stats --scale quick
+    python -m repro sweep --field n_attackers --values 5,10,25 \
+        --seeds 0,1 --scale quick --jobs 4 \
+        --checkpoint sweep.ck.json --out sweep.json
     python -m repro analyze --scheme progressive --m 10 --p 0.4 --h 10 \
         --r 10 --tau 1 --t-on 3 --t-off 10
 
@@ -15,6 +19,14 @@ and writes the machine-readable run artifact — metrics registry, span
 timelines, and engine self-profile — as JSON.  ``stats`` runs the
 standard quick scenario under full observability and prints the
 human-readable telemetry dump.
+
+``--jobs N`` (or ``$REPRO_JOBS``) fans independent scenario runs out
+over the :mod:`repro.parallel` worker pool; results are identical to a
+serial run.  ``sweep`` runs an arbitrary one-parameter sweep over the
+pool with per-task timeout, retry, and quarantine; its exit code is 0
+when every point completed and 3 on partial failure (quarantined
+points are listed in the ``--out`` artifact, and completed work is
+reusable via ``--checkpoint``).
 """
 
 from __future__ import annotations
@@ -58,6 +70,82 @@ def build_parser() -> argparse.ArgumentParser:
             help="instrument the runs with repro.obs and write the "
             "telemetry artifact (metrics + spans + engine profile) as JSON",
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="run the figure's independent scenarios on N pool "
+            "workers (default: $REPRO_JOBS, else serial); results are "
+            "identical to a serial run",
+        )
+
+    w = sub.add_parser(
+        "sweep",
+        help="sweep one scenario parameter over the parallel run pool",
+    )
+    w.add_argument(
+        "--field",
+        required=True,
+        help="TreeScenarioParams field to sweep (e.g. n_attackers)",
+    )
+    w.add_argument(
+        "--values",
+        required=True,
+        help="comma-separated values (cast to the field's current type)",
+    )
+    w.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated replication seeds (default: 0)",
+    )
+    w.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="default",
+        help="workload scale of the base scenario",
+    )
+    w.add_argument(
+        "--defense",
+        choices=("honeypot", "pushback", "none"),
+        default="honeypot",
+        help="defense configuration of the base scenario",
+    )
+    w.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool workers (default: $REPRO_JOBS, else 1)",
+    )
+    w.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock timeout (worker is killed and the "
+        "task retried, then quarantined)",
+    )
+    w.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        metavar="K",
+        help="attempts per task before quarantine (default: 2)",
+    )
+    w.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="JSON checkpoint: completed tasks are recorded as they "
+        "finish and skipped on re-run (resume after a kill)",
+    )
+    w.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable sweep artifact as JSON",
+    )
 
     s = sub.add_parser(
         "stats",
@@ -130,6 +218,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"E[capture time] ~= {result.expected:.1f} s"
             )
         return 0
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     if args.command == "stats":
         from dataclasses import replace
 
@@ -159,7 +249,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs import Telemetry
 
         telemetry = Telemetry()
-    text = figure(args.command, args.scale, telemetry=telemetry)
+    text = figure(
+        args.command,
+        args.scale,
+        telemetry=telemetry,
+        jobs=getattr(args, "jobs", None),
+    )
     path = telemetry.write(args.metrics_out) if telemetry is not None else None
     try:
         print(text)
@@ -168,6 +263,75 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:  # e.g. piped into `head`
         pass
     return 0
+
+
+def _parse_sweep_values(base, field: str, raw: str) -> list:
+    """Cast comma-separated CLI values to the swept field's type."""
+    if not hasattr(base, field):
+        raise SystemExit(f"error: unknown sweep field {field!r}")
+    current = getattr(base, field)
+    items = [v.strip() for v in raw.split(",") if v.strip()]
+    if not items:
+        raise SystemExit("error: --values is empty")
+    if isinstance(current, bool):
+        return [v.lower() in ("1", "true", "yes") for v in items]
+    if isinstance(current, int):
+        return [int(v) for v in items]
+    if isinstance(current, float):
+        return [float(v) for v in items]
+    return items
+
+
+def _run_sweep_command(args) -> int:
+    from dataclasses import replace
+
+    from .experiments.figures import _scenario_base
+    from .experiments.runner import run_sweep
+    from .obs.export import write_json
+    from .parallel import PoolConfig, SweepCheckpoint, resolve_jobs
+
+    base = replace(_scenario_base(args.scale), defense=args.defense)
+    values = _parse_sweep_values(base, args.field, args.values)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    config = PoolConfig(
+        jobs=resolve_jobs(args.jobs),
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+    )
+    checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
+
+    def progress(outcome):
+        tag = "resumed" if outcome.resumed else outcome.status
+        print(f"  [{tag}] {outcome.task_id}", flush=True)
+
+    print(
+        f"sweep {args.field} over {values} x seeds {seeds} "
+        f"({config.jobs} worker(s), defense={args.defense}, scale={args.scale})"
+    )
+    run = run_sweep(
+        base,
+        args.field,
+        values,
+        seeds,
+        pool_config=config,
+        checkpoint=checkpoint,
+        on_outcome=progress,
+    )
+    path = write_json(args.out, run.artifact()) if args.out else None
+    try:
+        for value, results in run.results.items():
+            pcts = ", ".join(
+                f"{r.legit_pct_during_attack:.1f}%" for r in results
+            )
+            print(f"{args.field}={value}: legit during attack [{pcts}]")
+        for task_id in run.report.quarantined:
+            err = (run.report.outcomes[task_id].error or "").splitlines()[0]
+            print(f"QUARANTINED {task_id}: {err}")
+        if path:
+            print(f"sweep artifact written to {path}")
+    except BrokenPipeError:
+        pass
+    return run.report.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,12 +17,11 @@ import numpy as np
 from ..analysis.capture_time import progressive_continuous, progressive_onoff
 from ..topology.distributions import PAPER_HOP_COUNT_DIST
 from ..topology.tree import TreeParams, build_tree_topology
-from .runner import render_table
+from .runner import render_table, run_many
 from .scenarios import (
     PARAMETER_TABLE,
     TreeScenarioParams,
     paper_scale,
-    run_tree_scenario,
 )
 from .validation import ValidationParams, run_validation
 
@@ -40,7 +39,7 @@ def _scenario_base(scale: str) -> TreeScenarioParams:
     return base
 
 
-def fig5(scale: str = "default", telemetry=None) -> str:
+def fig5(scale: str = "default", telemetry=None, jobs=None) -> str:
     m, p, h, r, tau = 10.0, 0.4, 10, 10.0, 1.0
     lines = [
         "Fig. 5 — analytical capture time, progressive back-propagation",
@@ -55,7 +54,7 @@ def fig5(scale: str = "default", telemetry=None) -> str:
     return "\n".join(lines)
 
 
-def fig6(scale: str = "default", telemetry=None) -> str:
+def fig6(scale: str = "default", telemetry=None, jobs=None) -> str:
     runs = 3 if scale == "quick" else 8
     base = ValidationParams(hops=10, p=0.3, epoch_len=10.0, runs=runs, seed=7)
     lines = ["Fig. 6 — Eq. (3) validation (sim mean vs m/p bound)"]
@@ -74,7 +73,7 @@ def fig6(scale: str = "default", telemetry=None) -> str:
     return "\n".join(lines)
 
 
-def fig7(scale: str = "default", telemetry=None) -> str:
+def fig7(scale: str = "default", telemetry=None, jobs=None) -> str:
     n_leaves = 100 if scale == "quick" else 400
     topo = build_tree_topology(
         TreeParams(n_leaves=n_leaves), np.random.default_rng(0)
@@ -96,7 +95,7 @@ def fig7(scale: str = "default", telemetry=None) -> str:
     return "\n".join(lines)
 
 
-def fig8(scale: str = "default", telemetry=None) -> str:
+def fig8(scale: str = "default", telemetry=None, jobs=None) -> str:
     base = _scenario_base(scale)
     lines = [
         "Fig. 8 — legitimate throughput (%) over time, "
@@ -104,13 +103,15 @@ def fig8(scale: str = "default", telemetry=None) -> str:
     ]
     # Telemetry instruments the honeypot run (the defense under study);
     # the baselines run uninstrumented on their own simulators.
-    results = {
-        name: run_tree_scenario(
-            replace(base, defense=name),
-            telemetry=telemetry if name == "honeypot" else None,
-        )
-        for name in ("honeypot", "pushback", "none")
-    }
+    results = run_many(
+        {
+            name: replace(base, defense=name)
+            for name in ("honeypot", "pushback", "none")
+        },
+        jobs=jobs,
+        telemetry=telemetry,
+        instrument=lambda name: telemetry is not None and name == "honeypot",
+    )
     lines.append("t(s)  " + "  ".join(f"{n:>9s}" for n in results))
     times = results["none"].times
     step = max(1, len(times) // 20)
@@ -133,42 +134,53 @@ def fig8(scale: str = "default", telemetry=None) -> str:
     return "\n".join(lines)
 
 
-def fig9(scale: str = "default", telemetry=None) -> str:
+def fig9(scale: str = "default", telemetry=None, jobs=None) -> str:
     return "Fig. 9 — simulation parameters\n" + render_table(
         ["parameter", "values studied", "default"], PARAMETER_TABLE
     )
 
 
-def fig10(scale: str = "default", telemetry=None) -> str:
+def fig10(scale: str = "default", telemetry=None, jobs=None) -> str:
     base = _scenario_base(scale)
-    rows = []
-    for placement in ("far", "even", "close"):
-        row = [placement]
-        for defense in ("honeypot", "pushback", "none"):
-            res = run_tree_scenario(
-                replace(base, placement=placement, defense=defense),
-                telemetry=telemetry if defense == "honeypot" else None,
-            )
-            row.append(f"{res.legit_pct_during_attack:.1f}")
-        rows.append(row)
+    placements = ("far", "even", "close")
+    defenses = ("honeypot", "pushback", "none")
+    results = run_many(
+        {
+            (p, d): replace(base, placement=p, defense=d)
+            for p in placements
+            for d in defenses
+        },
+        jobs=jobs,
+        telemetry=telemetry,
+        instrument=lambda key: telemetry is not None and key[1] == "honeypot",
+    )
+    rows = [
+        [p] + [f"{results[(p, d)].legit_pct_during_attack:.1f}" for d in defenses]
+        for p in placements
+    ]
     return "Fig. 10 — client throughput (%) vs attacker location\n" + render_table(
         ["location", "honeypot", "pushback", "none"], rows
     )
 
 
-def fig11(scale: str = "default", telemetry=None) -> str:
+def fig11(scale: str = "default", telemetry=None, jobs=None) -> str:
     base = replace(_scenario_base(scale), attacker_rate=0.5e6)
     counts = (5, 25) if scale == "quick" else (5, 10, 25, 50)
-    rows = []
-    for n in counts:
-        row = [n]
-        for defense in ("honeypot", "pushback", "none"):
-            res = run_tree_scenario(
-                replace(base, n_attackers=n, defense=defense),
-                telemetry=telemetry if defense == "honeypot" else None,
-            )
-            row.append(f"{res.legit_pct_during_attack:.1f}")
-        rows.append(row)
+    defenses = ("honeypot", "pushback", "none")
+    results = run_many(
+        {
+            (n, d): replace(base, n_attackers=n, defense=d)
+            for n in counts
+            for d in defenses
+        },
+        jobs=jobs,
+        telemetry=telemetry,
+        instrument=lambda key: telemetry is not None and key[1] == "honeypot",
+    )
+    rows = [
+        [n] + [f"{results[(n, d)].legit_pct_during_attack:.1f}" for d in defenses]
+        for n in counts
+    ]
     return "Fig. 11 — client throughput (%) vs number of attackers\n" + render_table(
         ["# attackers", "honeypot", "pushback", "none"], rows
     )
@@ -185,12 +197,14 @@ FIGURES: Dict[str, Callable[[str], str]] = {
 }
 
 
-def figure(name: str, scale: str = "default", telemetry=None) -> str:
+def figure(name: str, scale: str = "default", telemetry=None, jobs=None) -> str:
     """Regenerate one figure by name ('fig5' ... 'fig11').
 
     ``telemetry`` (a :class:`repro.obs.Telemetry` or None) instruments
     the figure's runs; figures without a simulation component accept
-    and ignore it.
+    and ignore it.  ``jobs`` fans the figure's independent scenario
+    runs out over a :mod:`repro.parallel` worker pool (default:
+    ``$REPRO_JOBS`` or serial); results are identical either way.
     """
     try:
         fn = FIGURES[name]
@@ -198,4 +212,4 @@ def figure(name: str, scale: str = "default", telemetry=None) -> str:
         raise ValueError(
             f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
         ) from None
-    return fn(scale, telemetry=telemetry)
+    return fn(scale, telemetry=telemetry, jobs=jobs)

@@ -2,32 +2,61 @@
 
 Benchmarks and examples print the same rows/series the paper reports;
 these helpers keep that rendering consistent.
+
+Replication and sweeps run through :mod:`repro.parallel` when asked
+(``jobs`` argument, ``--jobs`` on the CLI, or ``$REPRO_JOBS``): tasks
+carry their own seed, so serial and N-worker runs produce identical
+results; a :class:`~repro.parallel.SweepCheckpoint` resumes a killed
+sweep with exactly the missing tasks.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, replace
-from typing import Any, Dict, Iterable, List, Sequence
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..parallel import (
+    PoolConfig,
+    PoolReport,
+    SweepCheckpoint,
+    Task,
+    absorb_artifact,
+    replicate_seeds,
+    resolve_jobs,
+    run_tasks,
+)
 from .scenarios import TreeScenarioParams, TreeScenarioResult, run_tree_scenario
 
 __all__ = [
+    "SweepRun",
     "confidence_interval",
+    "plan_sweep_tasks",
     "render_series",
     "render_table",
     "replicate_scenario",
+    "result_from_dict",
     "result_to_dict",
+    "run_many",
+    "run_scenario_task",
+    "run_sweep",
     "summarize",
     "sweep_scenario",
 ]
 
 
 def result_to_dict(result: TreeScenarioResult) -> Dict[str, Any]:
-    """A :class:`TreeScenarioResult` as a JSON-ready artifact payload."""
+    """A :class:`TreeScenarioResult` as a JSON-ready artifact payload.
+
+    ``seed`` is surfaced top-level (it also lives inside ``params``) so
+    artifact consumers can group replications without digging into the
+    parameter dict; the id lists make the payload a lossless round trip
+    through :func:`result_from_dict`.
+    """
     return {
         "params": asdict(result.params),
+        "seed": result.params.seed,
         "times": list(result.times),
         "legit_pct": list(result.legit_pct),
         "attack_pct": list(result.attack_pct),
@@ -35,15 +64,255 @@ def result_to_dict(result: TreeScenarioResult) -> Dict[str, Any]:
         "defense_stats": dict(result.defense_stats),
         "capture_times": {str(k): v for k, v in result.capture_times.items()},
         "false_captures": result.false_captures,
+        "attacker_ids": list(result.attacker_ids),
+        "client_ids": list(result.client_ids),
         "events_processed": result.events_processed,
     }
 
 
+def result_from_dict(d: Dict[str, Any]) -> TreeScenarioResult:
+    """Inverse of :func:`result_to_dict` (pool workers ship dicts)."""
+    return TreeScenarioResult(
+        params=TreeScenarioParams(**d["params"]),
+        times=list(d["times"]),
+        legit_pct=list(d["legit_pct"]),
+        attack_pct=list(d["attack_pct"]),
+        legit_pct_during_attack=d["legit_pct_during_attack"],
+        defense_stats=dict(d["defense_stats"]),
+        capture_times={int(k): v for k, v in d["capture_times"].items()},
+        false_captures=d["false_captures"],
+        attacker_ids=list(d.get("attacker_ids", ())),
+        client_ids=list(d.get("client_ids", ())),
+        events_processed=d["events_processed"],
+    )
+
+
+def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool task function: one scenario run -> JSON-ready envelope.
+
+    Module-level so worker processes can unpickle it by reference.
+    ``payload`` is ``{"params": TreeScenarioParams, "telemetry": bool}``;
+    when telemetry is requested the worker builds its own
+    :class:`~repro.obs.Telemetry` and ships the artifact dict back for
+    the parent to merge (a live telemetry cannot cross the process
+    boundary — its span clock closes over the worker's simulator).
+    """
+    from ..obs import Telemetry  # local import keeps workers lean
+
+    params: TreeScenarioParams = payload["params"]
+    telemetry = Telemetry() if payload.get("telemetry") else None
+    result = run_tree_scenario(params, telemetry=telemetry)
+    return {
+        "result": result_to_dict(result),
+        "telemetry": telemetry.artifact() if telemetry is not None else None,
+    }
+
+
+def _scenario_tasks(
+    named_params: Sequence[tuple],
+    instrument: Callable[[Any], bool],
+    task_fn: Callable[[Dict[str, Any]], Dict[str, Any]],
+) -> List[Task]:
+    return [
+        Task(
+            task_id=str(key),
+            fn=task_fn,
+            payload={"params": params, "telemetry": bool(instrument(key))},
+        )
+        for key, params in named_params
+    ]
+
+
+def _raise_on_quarantine(report: PoolReport, what: str) -> None:
+    if not report.ok:
+        details = "; ".join(
+            f"{t}: {report.outcomes[t].error}".splitlines()[0]
+            for t in report.quarantined
+        )
+        raise RuntimeError(f"{what}: {len(report.quarantined)} task(s) quarantined ({details})")
+
+
+def run_many(
+    named_params: Dict[Any, TreeScenarioParams],
+    jobs: Optional[int] = None,
+    pool_config: Optional[PoolConfig] = None,
+    telemetry: Any = None,
+    instrument: Optional[Callable[[Any], bool]] = None,
+) -> Dict[Any, TreeScenarioResult]:
+    """Run several named scenarios, serially or on the pool.
+
+    ``instrument(key)`` selects which runs feed ``telemetry`` (default:
+    all, when a telemetry is given).  Worker telemetry artifacts are
+    absorbed in ``named_params`` order, so the consolidated artifact is
+    identical to a serial instrumented run.  Raises if any run is
+    quarantined — figures need every cell.
+    """
+    if instrument is None:
+        instrument = lambda key: telemetry is not None
+    jobs = pool_config.jobs if pool_config is not None else resolve_jobs(jobs)
+    if jobs <= 1 and pool_config is None:
+        return {
+            key: run_tree_scenario(
+                params, telemetry=telemetry if instrument(key) else None
+            )
+            for key, params in named_params.items()
+        }
+    tasks = _scenario_tasks(
+        [(k, p) for k, p in named_params.items()],
+        instrument if telemetry is not None else (lambda key: False),
+        run_scenario_task,
+    )
+    report = run_tasks(tasks, pool_config or PoolConfig(jobs=jobs))
+    _raise_on_quarantine(report, "scenario batch")
+    out: Dict[Any, TreeScenarioResult] = {}
+    for key, task in zip(named_params, tasks):
+        envelope = report.value(task.task_id)
+        out[key] = result_from_dict(envelope["result"])
+        if telemetry is not None and envelope.get("telemetry"):
+            absorb_artifact(telemetry, envelope["telemetry"])
+    return out
+
+
 def replicate_scenario(
-    params: TreeScenarioParams, seeds: Sequence[int]
+    params: TreeScenarioParams,
+    seeds: Optional[Sequence[int]] = None,
+    n: Optional[int] = None,
+    jobs: Optional[int] = None,
+    pool_config: Optional[PoolConfig] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> List[TreeScenarioResult]:
-    """Run the same scenario under several seeds."""
-    return [run_tree_scenario(replace(params, seed=s)) for s in seeds]
+    """Run the same scenario under several seeds.
+
+    With ``seeds=None``, ``n`` replication seeds are derived
+    deterministically from ``params.seed`` (SHA-256 keyed on the
+    replicate index) — and every result records the seed that produced
+    it (``result.params.seed``, surfaced by :func:`result_to_dict`).
+    """
+    if seeds is None:
+        if n is None:
+            raise ValueError("need seeds or n")
+        seeds = replicate_seeds(params.seed, n)
+    seeds = [int(s) for s in seeds]
+    jobs = pool_config.jobs if pool_config is not None else resolve_jobs(jobs)
+    if jobs <= 1 and pool_config is None and checkpoint is None:
+        return [run_tree_scenario(replace(params, seed=s)) for s in seeds]
+    tasks = [
+        Task(
+            task_id=f"seed={s}",
+            fn=run_scenario_task,
+            payload={"params": replace(params, seed=s), "telemetry": False},
+        )
+        for s in seeds
+    ]
+    report = run_tasks(
+        tasks, pool_config or PoolConfig(jobs=jobs), checkpoint=checkpoint
+    )
+    _raise_on_quarantine(report, "replication")
+    return [
+        result_from_dict(report.value(t.task_id)["result"]) for t in tasks
+    ]
+
+
+def plan_sweep_tasks(
+    base: TreeScenarioParams,
+    field_name: str,
+    values: Sequence[Any],
+    seeds: Sequence[int],
+    task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
+) -> List[Task]:
+    """One task per (value, seed) pair, under stable ids.
+
+    Ids are pure functions of the sweep coordinates — never of order or
+    worker — so checkpoints match across runs and duplicate (value,
+    seed) pairs are rejected by the pool.
+    """
+    if not hasattr(base, field_name):
+        raise ValueError(f"unknown sweep field {field_name!r}")
+    return [
+        Task(
+            task_id=f"{field_name}={v!r}/seed={int(s)}",
+            fn=task_fn,
+            payload={
+                "params": replace(base, **{field_name: v}, seed=int(s)),
+                "telemetry": False,
+            },
+        )
+        for v in values
+        for s in seeds
+    ]
+
+
+@dataclass
+class SweepRun:
+    """A completed (possibly partially failed) sweep."""
+
+    base: TreeScenarioParams
+    field_name: str
+    values: List[Any]
+    seeds: List[int]
+    tasks: List[Task]
+    report: PoolReport
+
+    @property
+    def results(self) -> Dict[Any, List[TreeScenarioResult]]:
+        """value -> results in seed order; quarantined points omitted."""
+        out: Dict[Any, List[TreeScenarioResult]] = {v: [] for v in self.values}
+        for v, task_ids in zip(self.values, self._ids_by_value()):
+            for task_id in task_ids:
+                outcome = self.report.outcomes[task_id]
+                if outcome.ok:
+                    out[v].append(result_from_dict(outcome.value["result"]))
+        return out
+
+    def _ids_by_value(self) -> List[List[str]]:
+        n = len(self.seeds)
+        ids = [t.task_id for t in self.tasks]
+        return [ids[i * n : (i + 1) * n] for i in range(len(self.values))]
+
+    def artifact(self) -> Dict[str, Any]:
+        """JSON-ready sweep artifact: params, per-task outcomes (in task
+        order), quarantine/resume bookkeeping.  Deterministic modulo
+        wall-time fields (see :func:`repro.parallel.strip_volatile`)."""
+        return {
+            "schema": "repro.sweep/1",
+            "field": self.field_name,
+            "values": list(self.values),
+            "seeds": list(self.seeds),
+            "base_params": asdict(self.base),
+            **self.report.as_dict(),
+        }
+
+
+def run_sweep(
+    base: TreeScenarioParams,
+    field_name: str,
+    values: Iterable[Any],
+    seeds: Sequence[int] = (0,),
+    jobs: Optional[int] = None,
+    pool_config: Optional[PoolConfig] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
+    on_outcome: Optional[Callable[[Any], None]] = None,
+) -> SweepRun:
+    """Sweep one parameter over the pool; quarantine-tolerant.
+
+    Unlike :func:`sweep_scenario` this never raises on a poisoned
+    point: the :class:`SweepRun` reports quarantined tasks and its
+    ``report.exit_code`` reflects partial failure.
+    """
+    values = list(values)
+    seeds = [int(s) for s in seeds]
+    tasks = plan_sweep_tasks(base, field_name, values, seeds, task_fn=task_fn)
+    config = pool_config or PoolConfig(jobs=resolve_jobs(jobs))
+    report = run_tasks(tasks, config, checkpoint=checkpoint, on_outcome=on_outcome)
+    return SweepRun(
+        base=base,
+        field_name=field_name,
+        values=values,
+        seeds=seeds,
+        tasks=tasks,
+        report=report,
+    )
 
 
 def sweep_scenario(
@@ -51,13 +320,33 @@ def sweep_scenario(
     field_name: str,
     values: Iterable[Any],
     seeds: Sequence[int] = (0,),
+    jobs: Optional[int] = None,
+    pool_config: Optional[PoolConfig] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> Dict[Any, List[TreeScenarioResult]]:
-    """Sweep one parameter, replicating each point over ``seeds``."""
-    out: Dict[Any, List[TreeScenarioResult]] = {}
-    for v in values:
-        params = replace(base, **{field_name: v})
-        out[v] = replicate_scenario(params, seeds)
-    return out
+    """Sweep one parameter, replicating each point over ``seeds``.
+
+    Raises if any task ends quarantined; use :func:`run_sweep` for
+    partial-failure tolerance and the machine-readable sweep artifact.
+    """
+    values = list(values)
+    jobs = pool_config.jobs if pool_config is not None else resolve_jobs(jobs)
+    if jobs <= 1 and pool_config is None and checkpoint is None:
+        out: Dict[Any, List[TreeScenarioResult]] = {}
+        for v in values:
+            params = replace(base, **{field_name: v})
+            out[v] = replicate_scenario(params, seeds)
+        return out
+    run = run_sweep(
+        base,
+        field_name,
+        values,
+        seeds,
+        pool_config=pool_config or PoolConfig(jobs=jobs),
+        checkpoint=checkpoint,
+    )
+    _raise_on_quarantine(run.report, f"sweep over {field_name}")
+    return run.results
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:

@@ -1,0 +1,78 @@
+"""The unit of pool work and its recorded outcome.
+
+A :class:`Task` is a stable string id, a *module-level* function (it is
+pickled by reference and re-imported inside worker processes — lambdas
+and closures will not survive the trip), and an arbitrary picklable
+payload.  A :class:`TaskOutcome` is what the pool hands back: either
+``status == "ok"`` with the function's return value, or
+``status == "quarantined"`` with the error of the final attempt.
+
+Outcomes serialize to JSON-ready dicts (for checkpoints and sweep
+artifacts); ``wall_time_s`` is the only non-deterministic field and is
+excluded by :func:`repro.parallel.merge.strip_volatile` when artifacts
+are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Task", "TaskOutcome", "STATUS_OK", "STATUS_QUARANTINED"]
+
+STATUS_OK = "ok"
+STATUS_QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work for the pool."""
+
+    task_id: str
+    fn: Callable[[Any], Any]
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be a non-empty string")
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task (after retries, if any)."""
+
+    task_id: str
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_time_s: float = 0.0
+    resumed: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def as_dict(self, include_timing: bool = True) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "task_id": self.task_id,
+            "status": self.status,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+        if include_timing:
+            d["wall_time_s"] = round(self.wall_time_s, 6)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any], resumed: bool = False) -> "TaskOutcome":
+        return cls(
+            task_id=d["task_id"],
+            status=d["status"],
+            value=d.get("value"),
+            error=d.get("error"),
+            attempts=int(d.get("attempts", 1)),
+            wall_time_s=float(d.get("wall_time_s", 0.0)),
+            resumed=resumed,
+        )

@@ -69,3 +69,70 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestJobsAndSweepParsing:
+    def test_jobs_flag_on_figures(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args([name, "--jobs", "4"])
+            assert args.jobs == 4
+            assert parser.parse_args([name]).jobs is None
+
+    def test_jobs_must_be_int(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--jobs", "many"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(
+            ["sweep", "--field", "n_attackers", "--values", "5,10"]
+        )
+        assert args.field == "n_attackers"
+        assert args.values == "5,10"
+        assert args.seeds == "0"
+        assert args.max_attempts == 2
+        assert args.jobs is None
+        assert args.timeout is None
+        assert args.checkpoint is None
+        assert args.out is None
+
+    def test_sweep_requires_field_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--values", "5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--field", "n_attackers"])
+
+    def test_sweep_value_casting(self):
+        from repro.cli import _parse_sweep_values
+        from repro.experiments.scenarios import TreeScenarioParams
+
+        base = TreeScenarioParams()
+        assert _parse_sweep_values(base, "n_attackers", "5, 10") == [5, 10]
+        assert _parse_sweep_values(base, "attacker_rate", "1e6") == [1.0e6]
+        assert _parse_sweep_values(base, "defense", "none,pushback") == [
+            "none", "pushback",
+        ]
+        with pytest.raises(SystemExit):
+            _parse_sweep_values(base, "nope", "1")
+        with pytest.raises(SystemExit):
+            _parse_sweep_values(base, "n_attackers", " , ")
+
+    def test_sweep_command_end_to_end(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "sweep.json"
+        ck = tmp_path / "ck.json"
+        argv = [
+            "sweep", "--field", "n_attackers", "--values", "1,2",
+            "--scale", "quick", "--defense", "none",
+            "--checkpoint", str(ck), "--out", str(out),
+        ]
+        assert main(argv) == 0
+        art = json.loads(out.read_text())
+        assert art["schema"] == "repro.sweep/1"
+        assert art["ok"] and art["quarantined"] == []
+        assert len(art["tasks"]) == 2
+        # Second run resumes everything from the checkpoint.
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "[resumed]" in capsys.readouterr().out

@@ -201,3 +201,77 @@ class TestConfidenceInterval:
             confidence_interval([])
         with _pytest.raises(ValueError):
             confidence_interval([1.0], confidence=2.0)
+
+
+class TestResultSerialization:
+    TINY = replace(
+        FAST, n_leaves=12, n_attackers=3, duration=12.0,
+        attack_start=2.0, attack_end=10.0, seed=7,
+    )
+
+    def test_result_to_dict_surfaces_seed_and_ids(self):
+        from repro.experiments.runner import result_to_dict
+
+        res = run_tree_scenario(self.TINY)
+        d = result_to_dict(res)
+        assert d["seed"] == 7
+        assert d["params"]["seed"] == 7
+        assert sorted(d["attacker_ids"]) == sorted(res.attacker_ids)
+        assert sorted(d["client_ids"]) == sorted(res.client_ids)
+
+    def test_round_trip_is_lossless(self):
+        from repro.experiments.runner import result_from_dict, result_to_dict
+
+        res = run_tree_scenario(self.TINY)
+        back = result_from_dict(result_to_dict(res))
+        assert back.params == res.params
+        assert back.capture_times == res.capture_times
+        assert back.legit_pct == res.legit_pct
+        assert result_to_dict(back) == result_to_dict(res)
+
+
+class TestParallelRunner:
+    TINY = replace(
+        FAST, n_leaves=12, n_attackers=3, duration=12.0,
+        attack_start=2.0, attack_end=10.0, defense="none",
+    )
+
+    def test_replicate_derives_distinct_seeds_from_n(self):
+        from repro.parallel import replicate_seeds
+
+        reps = replicate_scenario(self.TINY, n=3)
+        seeds = [r.params.seed for r in reps]
+        assert seeds == replicate_seeds(self.TINY.seed, 3)
+        assert len(set(seeds)) == 3
+
+    def test_replicate_requires_seeds_or_n(self):
+        with pytest.raises(ValueError):
+            replicate_scenario(self.TINY)
+
+    def test_pooled_replicate_matches_serial(self):
+        from repro.experiments.runner import result_to_dict
+        from repro.parallel import PoolConfig
+
+        serial = replicate_scenario(self.TINY, seeds=[0, 1])
+        pooled = replicate_scenario(
+            self.TINY, seeds=[0, 1],
+            pool_config=PoolConfig(jobs=2, inline=False),
+        )
+        assert [result_to_dict(r) for r in serial] == [
+            result_to_dict(r) for r in pooled
+        ]
+
+    def test_pooled_sweep_matches_serial(self):
+        from repro.experiments.runner import result_to_dict
+        from repro.parallel import PoolConfig
+
+        serial = sweep_scenario(self.TINY, "n_attackers", [1, 2], seeds=[0])
+        pooled = sweep_scenario(
+            self.TINY, "n_attackers", [1, 2], seeds=[0],
+            pool_config=PoolConfig(jobs=2, inline=False),
+        )
+        assert {
+            v: [result_to_dict(r) for r in rs] for v, rs in serial.items()
+        } == {
+            v: [result_to_dict(r) for r in rs] for v, rs in pooled.items()
+        }

@@ -343,3 +343,95 @@ class TestTelemetryIntegration:
         # produces the same captures.
         res_plain = run_tree_scenario(replace(params))
         assert res_plain.capture_times == res.capture_times
+
+
+class TestArtifactMerging:
+    """repro.parallel.merge: folding worker artifacts into one run."""
+
+    def _worker_artifact(self, seed):
+        """Build a small self-consistent artifact like a pool worker's."""
+        tele = Telemetry()
+        tele.registry.counter("pkts", cls="legit").inc(10 + seed)
+        tele.registry.histogram(
+            "lat", buckets=(1.0, 5.0)
+        ).observe(0.5 + seed)
+        root = tele.spans.start("session", at=0.0, seed=seed)
+        child = tele.spans.start("probe", at=1.0, parent=root)
+        tele.spans.end(child, at=2.0)
+        tele.spans.end(root, at=3.0)
+        tele.profiler.runs += 1
+        tele.profiler.events += 100 * (seed + 1)
+        tele.profiler.sim_time += 10.0
+        tele.profiler.note_heap(50 + seed)
+        tele.extra["throughput"] = {"times": [float(seed)]}
+        return tele.artifact()
+
+    def test_absorb_merges_metrics_and_profile(self):
+        from repro.parallel import absorb_artifact
+
+        parent = Telemetry()
+        absorb_artifact(parent, self._worker_artifact(0))
+        absorb_artifact(parent, self._worker_artifact(1))
+        assert parent.registry.value("pkts", cls="legit") == 21
+        prof = parent.profiler.as_dict()
+        assert prof["runs"] == 2
+        assert prof["events_processed"] == 300
+        assert prof["heap_hwm_events"] == 51
+
+    def test_absorb_offsets_span_ids_preserving_links(self):
+        from repro.parallel import absorb_artifact
+
+        parent = Telemetry()
+        absorb_artifact(parent, self._worker_artifact(0))
+        absorb_artifact(parent, self._worker_artifact(1))
+        spans = parent.spans.spans
+        assert len(spans) == 4
+        # All ids unique after offsetting; children point at their own
+        # worker's root, not the other's.
+        assert len({s.span_id for s in spans}) == 4
+        for root in parent.spans.roots():
+            kids = parent.spans.children(root)
+            assert [k.name for k in kids] == ["probe"]
+            assert kids[0].parent_id == root.span_id
+
+    def test_extras_use_setdefault_semantics(self):
+        from repro.parallel import absorb_artifact
+
+        parent = Telemetry()
+        absorb_artifact(parent, self._worker_artifact(0))
+        absorb_artifact(parent, self._worker_artifact(1))
+        # First worker's extras win, matching serial setdefault writes.
+        assert parent.extra["throughput"]["times"] == [0.0]
+
+    def test_merge_artifacts_matches_sequential_absorb(self):
+        from repro.parallel import absorb_artifact, merge_artifacts
+
+        arts = [self._worker_artifact(s) for s in (0, 1, 2)]
+        merged = merge_artifacts(arts)
+        seq = Telemetry()
+        for a in arts:
+            absorb_artifact(seq, a)
+        assert merged == seq.artifact()
+        # Empty/None entries are skipped, not an error.
+        assert merge_artifacts([None, {}, arts[0]]) == merge_artifacts(
+            [arts[0]]
+        )
+
+    def test_strip_volatile_removes_wall_time_fields_deeply(self):
+        from repro.parallel import strip_volatile
+
+        obj = {
+            "engine": {"events_processed": 5, "wall_time_s": 1.23,
+                       "events_per_sec": 99.0},
+            "tasks": [{"value": 1, "wall_time_s": 0.5}],
+            "wall_time": 7,
+            "keep": [1, 2],
+        }
+        stripped = strip_volatile(obj)
+        assert stripped == {
+            "engine": {"events_processed": 5},
+            "tasks": [{"value": 1}],
+            "keep": [1, 2],
+        }
+        # Deep copy: the input is untouched.
+        assert obj["engine"]["wall_time_s"] == 1.23

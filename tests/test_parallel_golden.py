@@ -1,0 +1,107 @@
+"""Golden-result regression suite: fixed-seed scenario digests, and
+serial == parallel (1, 2, 4 workers) byte-for-byte on the artifact dict.
+
+One representative point per tree-scenario figure (Figs. 8, 10, 11) at
+a tiny scale so the suite stays fast.  The SHA-256 digests pin the
+exact simulation output: any change to the engine, defenses, traffic
+models, or seed derivation that alters results must update them
+consciously.
+
+The parallel half proves the pool's determinism contract: the same
+tasks through subprocess workers (1, 2, and 4 of them) produce
+artifact dicts whose canonical JSON is identical to the serial run's.
+"""
+
+import hashlib
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import (
+    result_to_dict,
+    run_scenario_task,
+)
+from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+from repro.parallel import PoolConfig, Task, run_tasks
+
+TINY = TreeScenarioParams(
+    n_leaves=12,
+    n_attackers=3,
+    duration=12.0,
+    attack_start=2.0,
+    attack_end=10.0,
+    epoch_len=4.0,
+)
+
+# One representative parameter point per figure scenario.
+GOLDEN_POINTS = {
+    "fig8/honeypot-even": replace(
+        TINY, defense="honeypot", placement="even", attacker_rate=1.0e6, seed=1
+    ),
+    "fig10/pushback-close": replace(
+        TINY, defense="pushback", placement="close", attacker_rate=1.0e6, seed=3
+    ),
+    "fig11/none-halfrate": replace(
+        TINY, defense="none", attacker_rate=0.5e6, seed=5
+    ),
+}
+
+# SHA-256 over canonical JSON (sort_keys) of result_to_dict(...).
+GOLDEN_DIGESTS = {
+    "fig8/honeypot-even": (
+        "6d925fa978e636870968210a4cf076f8d178741bd48c51029440910e5a054926"
+    ),
+    "fig10/pushback-close": (
+        "551829b1fe1b4df7b82bebb220ec90be05cbef24b962c6dbd6d23183114252b9"
+    ),
+    "fig11/none-halfrate": (
+        "a8333bec63685338936479a55c94fa2de6981d05a0f6bc285c534806f6b084ea"
+    ),
+}
+
+
+def canonical(artifact: dict) -> str:
+    return json.dumps(artifact, sort_keys=True)
+
+
+def digest(artifact: dict) -> str:
+    return hashlib.sha256(canonical(artifact).encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def serial_artifacts():
+    """The serial (no-pool) artifact dict of every golden point."""
+    return {
+        name: result_to_dict(run_tree_scenario(params))
+        for name, params in GOLDEN_POINTS.items()
+    }
+
+
+class TestGoldenDigests:
+    def test_fixed_seed_digests(self, serial_artifacts):
+        got = {name: digest(art) for name, art in serial_artifacts.items()}
+        assert got == GOLDEN_DIGESTS, (
+            "simulation output changed — if intentional, regenerate "
+            "GOLDEN_DIGESTS (sha256 of canonical-JSON result_to_dict)"
+        )
+
+    def test_seed_surfaced_in_artifact(self, serial_artifacts):
+        for name, art in serial_artifacts.items():
+            assert art["seed"] == GOLDEN_POINTS[name].seed
+            assert art["params"]["seed"] == GOLDEN_POINTS[name].seed
+
+
+class TestSerialEqualsParallel:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_pool_matches_serial_byte_for_byte(self, serial_artifacts, jobs):
+        tasks = [
+            Task(name, run_scenario_task, {"params": params, "telemetry": False})
+            for name, params in GOLDEN_POINTS.items()
+        ]
+        # inline=False: even jobs=1 goes through real worker processes.
+        report = run_tasks(tasks, PoolConfig(jobs=jobs, inline=False))
+        assert report.ok
+        for name in GOLDEN_POINTS:
+            pooled = report.value(name)["result"]
+            assert canonical(pooled) == canonical(serial_artifacts[name])
