@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..crypto.auth import KeyRing
 from ..honeypots.schedule import BernoulliSchedule, RoamingSchedule
 from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
 from ..topology.aslevel import ASTopology
 from .deployment import DeploymentMap
 from .hsm import HSM
@@ -212,9 +213,7 @@ class InterASBackprop:
             atk._schedule = schedule if atk.follower_d is not None else None
 
         self.frontier_list = IntermediateASList(self.config.rho)
-        import numpy as _np
-
-        self._loss_rng = _np.random.default_rng(self.config.loss_seed)
+        self._loss_rng = RngRegistry(self.config.loss_seed).stream("interas.loss")
         self.captures: Dict[int, float] = {}
         self.messages = {
             "requests": 0,
@@ -512,7 +511,9 @@ class InterASBackprop:
             retired = {k for k in self._alive if k[0] == asn}
             self._alive -= retired
             if self.telemetry is not None:
-                for key in retired:
+                # Sorted so span-close order (and span ids downstream)
+                # never depends on set iteration order.
+                for key in sorted(retired):
                     span = self._as_spans.pop(key, None)
                     if span is not None:
                         self.telemetry.spans.end(span, captured=True)
@@ -526,7 +527,9 @@ class InterASBackprop:
         ASs), relaying cancels along the recorded children."""
         self._cancelled_epochs.add(epoch)
         seen: Set[int] = set()
-        for asn in self._roots.pop(epoch, set()):
+        # Sorted: the cancel walk schedules events and counts messages,
+        # so root order must not depend on set iteration order.
+        for asn in sorted(self._roots.pop(epoch, set())):
             self.messages["cancels"] += 1
             self._cancel_session(asn, epoch, self.sim.now, seen)
 
@@ -537,7 +540,7 @@ class InterASBackprop:
             return
         seen.add(asn)
         self.sim.schedule_at(at, self._apply_cancel, asn, epoch)
-        for child in self._children.get((asn, epoch), set()):
+        for child in sorted(self._children.get((asn, epoch), set())):
             self.messages["cancels"] += 1
             self._cancel_session(child, epoch, at + self.config.per_hop_delay, seen)
 

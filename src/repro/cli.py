@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro list
+    python -m repro lint src/ tests/ benchmarks/
     python -m repro fig8 --scale quick
     python -m repro fig11 --scale quick --jobs 4
     python -m repro fig8 --scale quick --metrics-out out.json
@@ -147,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable sweep artifact as JSON",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically check the determinism & reproducibility "
+        "invariants (reprolint rules RPL001-RPL005)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe each rule, its rationale, and the whitelist",
+    )
+
     s = sub.add_parser(
         "stats",
         help="run the standard scenario with full observability and "
@@ -218,6 +236,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"E[capture time] ~= {result.expected:.1f} s"
             )
         return 0
+    if args.command == "lint":
+        from .lint.runner import main as lint_main
+
+        argv_lint = list(args.paths)
+        if args.list_rules:
+            argv_lint.append("--list-rules")
+        return lint_main(argv_lint)
     if args.command == "sweep":
         return _run_sweep_command(args)
     if args.command == "stats":

@@ -86,7 +86,12 @@ class HoneypotBackpropDefense(Defense):
         return [c.host_addr for c in self.captures]
 
     def false_captures(self, attacker_addrs: Sequence[int]) -> List[CaptureRecord]:
-        """Captures of hosts that are not attackers (should be empty)."""
+        """Captures of hosts that are not attackers (should be empty).
+
+        The set is membership-only (never iterated): the returned list
+        keeps ``self.captures`` order, which is capture-event order and
+        therefore deterministic for a given seed.
+        """
         attackers = set(attacker_addrs)
         return [c for c in self.captures if c.host_addr not in attackers]
 

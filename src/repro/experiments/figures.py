@@ -15,6 +15,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from ..analysis.capture_time import progressive_continuous, progressive_onoff
+from ..sim.rng import RngRegistry
 from ..topology.distributions import PAPER_HOP_COUNT_DIST
 from ..topology.tree import TreeParams, build_tree_topology
 from .runner import render_table, run_many
@@ -76,7 +77,7 @@ def fig6(scale: str = "default", telemetry=None, jobs=None) -> str:
 def fig7(scale: str = "default", telemetry=None, jobs=None) -> str:
     n_leaves = 100 if scale == "quick" else 400
     topo = build_tree_topology(
-        TreeParams(n_leaves=n_leaves), np.random.default_rng(0)
+        TreeParams(n_leaves=n_leaves), RngRegistry(0).stream("fig7.topology")
     )
     hops = topo.hop_count_histogram()
     total = sum(hops.values())

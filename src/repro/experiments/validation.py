@@ -20,7 +20,7 @@ from ..defense.honeypot_backprop import HoneypotBackpropDefense
 from ..honeypots.roaming import RoamingServerPool
 from ..honeypots.schedule import BernoulliSchedule
 from ..sim.network import Network
-from ..sim.rng import derive_seed
+from ..sim.rng import RngRegistry, derive_seed
 from ..topology.string import build_string_topology
 from ..traffic.sources import CBRSource
 
@@ -82,7 +82,7 @@ def run_trial(
     the trial's simulator and defense.
     """
     seed = derive_seed(params.seed, f"validation-{run_index}")
-    rng = np.random.default_rng(seed)
+    rng = RngRegistry(seed).stream("attack-phase")
 
     topo = build_string_topology(
         params.hops,

@@ -1,0 +1,53 @@
+"""reprolint — AST-based determinism & reproducibility linter.
+
+The reproduction's headline guarantee — bit-identical results for a
+given seed regardless of worker count — rests on conventions that
+nothing in the interpreter enforces: all randomness flows through the
+named streams of :class:`repro.sim.rng.RngRegistry`, simulation code
+never reads wall clocks, iteration that reaches scheduling or
+serialized output never depends on set ordering, and seed derivation
+never passes through ``PYTHONHASHSEED``-dependent ``hash()``.
+
+This package makes those conventions machine-checked.  It is a
+standalone static-analysis pass over Python source (stdlib :mod:`ast`
+only, no third-party dependencies) with one rule per invariant:
+
+========  ==========================================================
+ Code      Invariant
+========  ==========================================================
+ RPL001    no ad-hoc randomness outside ``repro/sim/rng.py`` and
+           whitelisted sites — draw from ``RngRegistry.stream()``
+ RPL002    no wall-clock reads inside simulation packages
+ RPL003    no iteration over unordered set expressions without
+           ``sorted()``
+ RPL004    no ``hash()`` of str/bytes (PYTHONHASHSEED-dependent) and
+           no ``os.urandom`` in seed paths
+ RPL005    no mutable default arguments
+========  ==========================================================
+
+Diagnostics can be suppressed per line with ``# reprolint:
+ignore[RPL001]`` (optionally ``-- reason``); file-level exemptions
+with a documented rationale live in :mod:`repro.lint.whitelist`.
+
+Run it as ``repro lint [paths...]`` or ``python -m repro lint``; the
+suite's meta-test asserts the repo itself stays clean.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+from .rules import ALL_RULES, Rule
+from .runner import lint_file, lint_paths, lint_source, main
+from .whitelist import WHITELIST, whitelisted_reason
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "Rule",
+    "WHITELIST",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "whitelisted_reason",
+]

@@ -1,0 +1,26 @@
+"""Diagnostic records emitted by the reprolint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at a source location.
+
+    Ordering is (path, line, col, code) so a sorted report reads
+    top-to-bottom per file regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: CODE message`` — the CLI output format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

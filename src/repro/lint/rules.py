@@ -1,0 +1,447 @@
+"""The reprolint rule set (RPL001–RPL005).
+
+Each rule is a small, self-contained AST pass.  Rules are *scoped*:
+``applies_to`` decides from the module path (posix, relative to the
+source root, e.g. ``repro/sim/engine.py``) whether the invariant holds
+in that file at all, so test helpers and benchmarks are not held to
+simulation-only contracts.  Rules report candidate violations; the
+runner then subtracts whitelist entries and inline suppressions.
+
+Static analysis without type inference cannot see every violation (an
+unordered ``set`` bound to a variable and iterated three lines later
+escapes RPL003).  The rules therefore aim for *zero false positives on
+idiomatic code* and catch the syntactic forms that have actually
+appeared in this codebase; the golden serial==pool digest suite
+remains the dynamic backstop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Rule", "ALL_RULES", "dotted_name"]
+
+# Packages whose code runs inside the simulation clock (RPL002 scope).
+SIM_PACKAGES: Tuple[str, ...] = (
+    "repro/sim/",
+    "repro/defense/",
+    "repro/pushback/",
+    "repro/honeypots/",
+)
+
+# numpy.random attributes that are types/infrastructure, not draws.
+_NP_RANDOM_TYPES = frozenset(
+    {"Generator", "BitGenerator", "SeedSequence", "PCG64", "Philox", "MT19937"}
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.sleep",
+    }
+)
+
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "deque",
+        "defaultdict",
+        "Counter",
+        "OrderedDict",
+    }
+)
+
+_TEXT_PRODUCERS = frozenset({"str", "repr", "format", "bytes", "ascii"})
+_TEXT_METHODS = frozenset({"encode", "decode", "format", "join", "lower", "upper", "strip"})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: one reproducibility invariant, one diagnostic code."""
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def applies_to(self, module_path: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, tree: ast.AST, module_path: str) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def _diag(
+        self, module_path: str, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=module_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+class NoAdHocRandomness(Rule):
+    """RPL001 — all randomness flows through ``RngRegistry.stream()``."""
+
+    code = "RPL001"
+    name = "no-adhoc-randomness"
+    rationale = (
+        "a stray `import random` or `np.random.default_rng` creates RNG "
+        "state outside the named-stream registry, so results silently "
+        "depend on import/creation order and stop being a pure function "
+        "of the master seed"
+    )
+
+    def applies_to(self, module_path: str) -> bool:
+        return module_path.startswith("repro/")
+
+    def check(self, tree: ast.AST, module_path: str) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._diag(
+                            module_path,
+                            node,
+                            "stdlib `random` imported — draw from a named "
+                            "RngRegistry stream instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self._diag(
+                        module_path,
+                        node,
+                        "stdlib `random` imported — draw from a named "
+                        "RngRegistry stream instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                # <anything>.random.<fn>(...) — numpy module-level RNG
+                # (np.random.default_rng / np.random.seed / legacy
+                # np.random.rand et al.).  Generator *instances* are
+                # named rng/_rng/..., never `random`, so instance draws
+                # like rng.uniform() pass.
+                if (
+                    len(parts) >= 2
+                    and parts[-2] == "random"
+                    and parts[-1] not in _NP_RANDOM_TYPES
+                    # plain `random.x()` is reported at its import site
+                    and len(parts) >= 3
+                ):
+                    yield self._diag(
+                        module_path,
+                        node,
+                        f"`{dotted}` bypasses the RngRegistry — derive a "
+                        "seed with derive_seed() or use a named stream",
+                    )
+
+
+class NoWallClockInSim(Rule):
+    """RPL002 — simulation code never reads the wall clock."""
+
+    code = "RPL002"
+    name = "no-wall-clock-in-sim"
+    rationale = (
+        "simulated components must depend only on the event-driven sim "
+        "clock; a wall-clock read (time.time, datetime.now, "
+        "perf_counter) makes behaviour — and therefore captured "
+        "distributions — vary with host load"
+    )
+
+    def applies_to(self, module_path: str) -> bool:
+        return module_path.startswith(SIM_PACKAGES)
+
+    def check(self, tree: ast.AST, module_path: str) -> Iterator[Diagnostic]:
+        clock_names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        clock_names.add(alias.asname or alias.name)
+                        yield self._diag(
+                            module_path,
+                            node,
+                            f"`from time import {alias.name}` in simulation "
+                            "code — use the sim clock (`sim.now`)",
+                        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if dotted in _WALL_CLOCK_CALLS:
+                yield self._diag(
+                    module_path,
+                    node,
+                    f"`{dotted}()` in simulation code — use the sim clock "
+                    "(`sim.now`)",
+                )
+            elif parts[-1] in _DATETIME_NOW and "datetime" in parts[:-1]:
+                yield self._diag(
+                    module_path,
+                    node,
+                    f"`{dotted}()` in simulation code — use the sim clock "
+                    "(`sim.now`)",
+                )
+            elif len(parts) == 1 and parts[0] in clock_names:
+                # bare perf_counter() after `from time import perf_counter`
+                # (the import itself is already reported; keep the call
+                # site too so suppressions must cover the actual read)
+                yield self._diag(
+                    module_path,
+                    node,
+                    f"`{dotted}()` reads the wall clock — use the sim "
+                    "clock (`sim.now`)",
+                )
+
+
+def _is_keys_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Statically recognisable unordered-set expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        left, right = node.left, node.right
+        # keys-view algebra (`a.keys() - b.keys()`) yields a *set*, so
+        # its order is unordered even though plain .keys() is not.
+        return (
+            _is_set_expr(left)
+            or _is_set_expr(right)
+            or _is_keys_view(left)
+            or _is_keys_view(right)
+        )
+    return False
+
+
+class NoUnorderedIteration(Rule):
+    """RPL003 — unordered sets are sorted before iteration."""
+
+    code = "RPL003"
+    name = "no-unordered-iteration"
+    rationale = (
+        "iterating a set (or keys-view algebra like `a.keys() - "
+        "b.keys()`) yields a hash-dependent order; when that order "
+        "reaches RNG draws, event scheduling, or serialized output the "
+        "run stops being reproducible across processes — wrap the "
+        "expression in sorted()"
+    )
+
+    def applies_to(self, module_path: str) -> bool:
+        return True
+
+    def _iter_positions(
+        self, tree: ast.AST
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter, "for-loop"
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield gen.iter, "comprehension"
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if (
+                    node.func.id in ("list", "tuple", "enumerate")
+                    and len(node.args) == 1
+                    and not node.keywords
+                ):
+                    yield node.args[0], f"{node.func.id}()"
+
+    def check(self, tree: ast.AST, module_path: str) -> Iterator[Diagnostic]:
+        for expr, where in self._iter_positions(tree):
+            if _is_set_expr(expr):
+                yield self._diag(
+                    module_path,
+                    expr,
+                    f"iteration over an unordered set expression in a "
+                    f"{where} — wrap it in sorted() so the order is "
+                    "deterministic",
+                )
+
+
+def _produces_text(node: ast.AST) -> bool:
+    """Conservatively: does this expression yield str/bytes?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (str, bytes))
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        return _produces_text(node.left) or _produces_text(node.right)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _TEXT_PRODUCERS:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _TEXT_METHODS:
+            return True
+    return False
+
+
+class NoHashSeedDependence(Rule):
+    """RPL004 — seed derivation never depends on PYTHONHASHSEED or the OS."""
+
+    code = "RPL004"
+    name = "no-hashseed-dependence"
+    rationale = (
+        "`hash()` of str/bytes is salted per process by PYTHONHASHSEED, "
+        "and `os.urandom` is nondeterministic by definition; a seed "
+        "derived through either differs between runs and between pool "
+        "workers — derive seeds with repro.sim.rng.derive_seed (SHA-256)"
+    )
+
+    def applies_to(self, module_path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.AST, module_path: str) -> Iterator[Diagnostic]:
+        urandom_names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name == "urandom":
+                        urandom_names.add(alias.asname or alias.name)
+                        yield self._diag(
+                            module_path,
+                            node,
+                            "`os.urandom` imported — seeds must be "
+                            "deterministic; use derive_seed()",
+                        )
+        in_seed_path = self._seed_function_spans(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted == "os.urandom" or (
+                dotted is not None and dotted in urandom_names
+            ):
+                yield self._diag(
+                    module_path,
+                    node,
+                    f"`{dotted}()` is nondeterministic — use derive_seed()",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and len(node.args) == 1
+            ):
+                arg = node.args[0]
+                if _produces_text(arg) or (
+                    isinstance(arg, ast.Name)
+                    and any(a <= node.lineno <= b for a, b in in_seed_path)
+                ):
+                    yield self._diag(
+                        module_path,
+                        node,
+                        "builtin hash() of text is PYTHONHASHSEED-salted "
+                        "— derive seeds with derive_seed() (SHA-256)",
+                    )
+
+    @staticmethod
+    def _seed_function_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+        """Line spans of functions that look like seed-derivation paths."""
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                lowered = node.name.lower()
+                if "seed" in lowered or "derive" in lowered:
+                    end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                    spans.append((node.lineno, end))
+        return spans
+
+
+class NoMutableDefaults(Rule):
+    """RPL005 — no mutable default arguments."""
+
+    code = "RPL005"
+    name = "no-mutable-defaults"
+    rationale = (
+        "a mutable default ([] / {} / set()) is created once at import "
+        "and shared across calls; state leaking between scenario runs "
+        "breaks run-to-run independence (and is a classic bug besides)"
+    )
+
+    def applies_to(self, module_path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.AST, module_path: str) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults: Sequence[Optional[ast.expr]] = [
+                *node.args.defaults,
+                *node.args.kw_defaults,
+            ]
+            for default in defaults:
+                if default is None:
+                    continue
+                if self._is_mutable(default):
+                    yield self._diag(
+                        module_path,
+                        default,
+                        "mutable default argument — use None and create "
+                        "the container in the body (or default_factory)",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    NoAdHocRandomness(),
+    NoWallClockInSim(),
+    NoUnorderedIteration(),
+    NoHashSeedDependence(),
+    NoMutableDefaults(),
+)

@@ -1,0 +1,218 @@
+"""File discovery, suppression handling, and the ``repro lint`` entry.
+
+Diagnostic flow: every applicable rule reports candidates, then the
+runner drops (a) whitelist exemptions from :mod:`repro.lint.whitelist`
+and (b) lines carrying an inline suppression::
+
+    foo = set(bar)  # reprolint: ignore[RPL003] -- membership only
+
+``ignore`` with no bracket suppresses every rule on the line; a
+suppression on a line that is *only* a comment applies to the next
+code line, so long expressions stay readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path, PurePosixPath
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from .diagnostics import Diagnostic
+from .rules import ALL_RULES, Rule
+from .whitelist import WHITELIST, whitelisted_reason
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "main"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9,\s]+)\])?"
+)
+
+# Directories never scanned: caches, VCS internals, and the linter's
+# own bad-on-purpose test fixtures.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hg", "build", "dist", ".eggs", "fixtures"}
+)
+
+
+def _suppressed_codes(line: str) -> Optional[FrozenSet[str]]:
+    """Codes suppressed on this physical line; empty set means 'all'."""
+    m = _SUPPRESS_RE.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
+def _is_suppressed(diag: Diagnostic, lines: Sequence[str]) -> bool:
+    candidates: List[str] = []
+    if 1 <= diag.line <= len(lines):
+        candidates.append(lines[diag.line - 1])
+        # A contiguous block of comment-only lines directly above
+        # covers the next code line (suppressions may wrap).
+        prev = diag.line - 2
+        while prev >= 0 and lines[prev].lstrip().startswith("#"):
+            candidates.append(lines[prev])
+            prev -= 1
+    for line in candidates:
+        codes = _suppressed_codes(line)
+        if codes is not None and (not codes or diag.code in codes):
+            return True
+    return False
+
+
+def module_path_of(path: Path) -> str:
+    """Posix module path relative to the source root.
+
+    ``.../src/repro/sim/engine.py`` → ``repro/sim/engine.py`` so rule
+    scoping and the whitelist are independent of where the repo lives;
+    files outside a ``src/`` root (tests, benchmarks) keep their path
+    relative to the current directory when possible.
+    """
+    posix = PurePosixPath(path.as_posix())
+    parts = posix.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "src":
+            return str(PurePosixPath(*parts[i + 1:]))
+    try:
+        return Path(path).resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return posix.as_posix()
+
+
+def lint_source(
+    source: str,
+    module_path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+    display_path: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint one module's source text.
+
+    ``module_path`` drives rule scoping and the whitelist (posix,
+    e.g. ``repro/sim/engine.py``); ``display_path`` overrides the path
+    shown in diagnostics (defaults to ``module_path``).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=display_path or module_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code="RPL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    out: List[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(module_path):
+            continue
+        if whitelisted_reason(module_path, rule.code) is not None:
+            continue
+        for diag in rule.check(tree, module_path):
+            if _is_suppressed(diag, lines):
+                continue
+            if display_path is not None:
+                diag = Diagnostic(
+                    display_path, diag.line, diag.col, diag.code, diag.message
+                )
+            out.append(diag)
+    return sorted(out)
+
+
+def lint_file(path: Path, rules: Sequence[Rule] = ALL_RULES) -> List[Diagnostic]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        module_path_of(path),
+        rules=rules,
+        display_path=str(path),
+    )
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(f.parts):
+                    yield f
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Sequence[Rule] = ALL_RULES
+) -> List[Diagnostic]:
+    """Lint files and directory trees; returns sorted diagnostics."""
+    out: List[Diagnostic] = []
+    for f in _iter_python_files(paths):
+        out.extend(lint_file(f, rules=rules))
+    return sorted(out)
+
+
+def describe_rules() -> str:
+    lines = ["reprolint rules:"]
+    for rule in ALL_RULES:
+        lines.append(f"  {rule.code}  {rule.name}")
+        lines.append(f"      {rule.rationale}")
+    lines.append("")
+    lines.append("whitelisted sites (repro/lint/whitelist.py):")
+    for path in sorted(WHITELIST):
+        for code, reason in sorted(WHITELIST[path].items()):
+            lines.append(f"  {path} [{code}]: {reason}")
+    lines.append("")
+    lines.append(
+        "suppress one line with `# reprolint: ignore[RPL00x] -- reason`"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro lint`` / ``python -m repro.lint`` entry point.
+
+    Exit status: 0 clean, 1 violations found, 2 usage error.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="check the repo's determinism & reproducibility invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe each rule, its rationale, and the whitelist",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    try:
+        diagnostics = lint_paths(args.paths or ["src"])
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        n = len(diagnostics)
+        print(f"repro lint: {n} violation{'s' if n != 1 else ''}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

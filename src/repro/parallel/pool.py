@@ -33,7 +33,9 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as _conn_wait
+from multiprocessing.context import BaseContext
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .tasks import STATUS_OK, STATUS_QUARANTINED, Task, TaskOutcome
@@ -99,7 +101,7 @@ class PoolConfig:
     def run_inline(self) -> bool:
         return self.jobs <= 1 if self.inline is None else self.inline
 
-    def mp_context(self):
+    def mp_context(self) -> BaseContext:
         if self.start_method is not None:
             return mp.get_context(self.start_method)
         # fork is the cheap path on POSIX; spawn works too (tasks are
@@ -242,7 +244,7 @@ def _run_inline(
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(conn) -> None:  # pragma: no cover - runs in subprocess
+def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in subprocess
     while True:
         try:
             msg = conn.recv()
@@ -268,7 +270,7 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in subprocess
 class _Worker:
     __slots__ = ("proc", "conn", "task", "attempts", "started", "deadline")
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx: BaseContext) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_worker_main, args=(child_conn,), daemon=True

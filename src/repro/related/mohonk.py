@@ -57,7 +57,7 @@ class MohonkFilter:
         if not 0.0 <= unused_fraction <= 1.0:
             raise ValueError("unused_fraction must be in [0, 1]")
         self.space = space
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)  # reprolint: ignore[RPL001] -- literal-seed fallback for standalone use; callers pass a registry stream
         n = int(round(unused_fraction * space.n_blocks))
         self._advertised: Set[int] = set(
             int(b) for b in self.rng.choice(space.n_blocks, size=n, replace=False)

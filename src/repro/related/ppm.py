@@ -181,7 +181,7 @@ def simulate_ppm_traceback(
     max_packets:
         Give up after this many packets (returns packets_needed=None).
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # reprolint: ignore[RPL001] -- literal-seed fallback for standalone use; callers pass a registry stream
     compromised = compromised or {}
     routers = [
         PPMRouter(

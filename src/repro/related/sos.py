@@ -49,7 +49,7 @@ class SOSOverlay:
         self.config = config or SOSConfig()
         if self.config.n_overlay_nodes < 2:
             raise ValueError("need at least 2 overlay nodes")
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)  # reprolint: ignore[RPL001] -- literal-seed fallback for standalone use; callers pass a registry stream
 
     def chord_hops(self) -> int:
         """Chord lookup path length: ~(1/2) log2 N expected, sampled."""

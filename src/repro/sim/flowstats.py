@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from .engine import Simulator
 from .node import Host
 from .packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["FlowRecord", "FlowStats"]
 
@@ -90,7 +93,10 @@ class FlowStats:
     """
 
     def __init__(
-        self, sim: Simulator, sinks: Sequence[Host], registry=None
+        self,
+        sim: Simulator,
+        sinks: Sequence[Host],
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.flows: Dict[Any, FlowRecord] = {}

@@ -138,7 +138,7 @@ class Link:
         bandwidth_bps: float,
         delay: float,
         queue_limit: int = 50,
-        queue_factory=None,
+        queue_factory: Optional[Callable[[], DropTailQueue]] = None,
     ) -> None:
         self.a = a
         self.b = b

@@ -16,11 +16,14 @@ behave exactly as before (no registry object is ever consulted).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .engine import Simulator, Timer
 from .node import Host
 from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["ThroughputMonitor", "FlowCounter", "mean_over_window"]
 
@@ -48,7 +51,7 @@ class ThroughputMonitor:
         hosts: Sequence[Host],
         classify: Callable[[Packet], Optional[str]],
         interval: float = 1.0,
-        registry=None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive (got {interval})")
@@ -126,7 +129,9 @@ class ThroughputMonitor:
 class FlowCounter:
     """Per-origin delivered byte counts at a set of hosts."""
 
-    def __init__(self, hosts: Sequence[Host], registry=None) -> None:
+    def __init__(
+        self, hosts: Sequence[Host], registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.by_true_src: Dict[int, int] = {}
         self.total_bytes = 0
         self.registry = registry

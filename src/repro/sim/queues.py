@@ -12,7 +12,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+import numpy as np
+
 from .packet import Packet
+from .rng import derive_seed
 
 __all__ = ["DropTailQueue", "REDQueue", "TokenBucket", "DropRateEstimator"]
 
@@ -99,11 +102,11 @@ class REDQueue(DropTailQueue):
         self.weight = weight
         self.avg = 0.0
         self._count = 0
-        # Local deterministic RNG: RED's drop coin must not perturb any
-        # shared experiment stream.
-        import random as _random
-
-        self._rng = _random.Random(seed)
+        # Private deterministic stream: RED's drop coin must not perturb
+        # (or be perturbed by) any shared experiment stream, so the queue
+        # owns a Generator seeded from its own derive_seed namespace.
+        # See the RPL001 whitelist entry in repro/lint/whitelist.py.
+        self._rng = np.random.default_rng(derive_seed(seed, "red-queue"))
         self.early_drops = 0
 
     def push(self, pkt: Packet) -> bool:

@@ -10,12 +10,15 @@ hot path pays nothing unless a tap is installed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 from .engine import Simulator
 from .link import Channel
-from .node import Host, Node
+from .node import Host, IngressHook, Node
 from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -50,7 +53,10 @@ class Tracer:
     """
 
     def __init__(
-        self, sim: Simulator, max_events: int = 100_000, registry=None
+        self,
+        sim: Simulator,
+        max_events: int = 100_000,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
@@ -88,7 +94,7 @@ class Tracer:
 
         original_dispatch = host._dispatch_control
 
-        def dispatch(pkt: Packet, in_channel) -> None:
+        def dispatch(pkt: Packet, in_channel: Optional[Channel]) -> None:
             self._record(
                 TraceEvent(
                     self.sim.now, "control", host.name, pkt.src, pkt.dst,
@@ -127,8 +133,8 @@ class Tracer:
 
         tracer = self
 
-        def wrap(hook):
-            def wrapped(pkt: Packet, in_channel) -> bool:
+        def wrap(hook: IngressHook) -> IngressHook:
+            def wrapped(pkt: Packet, in_channel: Optional[Channel]) -> bool:
                 verdict = hook(pkt, in_channel)
                 if verdict:
                     tracer._record(
@@ -145,14 +151,14 @@ class Tracer:
 
         original_add = node.add_ingress_hook
         original_remove = node.remove_ingress_hook
-        wrapped_of = {}
+        wrapped_of: Dict[int, IngressHook] = {}
 
-        def add_ingress_hook(hook):
+        def add_ingress_hook(hook: IngressHook) -> None:
             wrapped = wrap(hook)
             wrapped_of[id(hook)] = wrapped
             return original_add(wrapped)
 
-        def remove_ingress_hook(hook):
+        def remove_ingress_hook(hook: IngressHook) -> None:
             return original_remove(wrapped_of.pop(id(hook), hook))
 
         node.add_ingress_hook = add_ingress_hook  # type: ignore[method-assign]

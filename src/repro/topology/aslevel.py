@@ -83,7 +83,7 @@ def build_as_topology(
         raise ValueError("need at least one transit AS")
     if n_stubs < 0:
         raise ValueError("n_stubs must be >= 0")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # reprolint: ignore[RPL001] -- literal-seed fallback for standalone use; callers pass a registry stream
     g = nx.Graph()
     victim_as = 0
     g.add_node(victim_as, transit=False)

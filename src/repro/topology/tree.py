@@ -115,7 +115,7 @@ def build_tree_topology(
     reproduces the heavy-tailed degree profile.
     """
     params = params or TreeParams()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # reprolint: ignore[RPL001] -- literal-seed fallback for standalone use; callers pass a registry stream
     if params.n_leaves < 1:
         raise ValueError("need at least one leaf")
     if params.n_servers < 1:

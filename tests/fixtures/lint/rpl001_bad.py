@@ -1,0 +1,11 @@
+"""Bad: ad-hoc RNG state outside the registry (RPL001 x3)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(scale):
+    rng = np.random.default_rng(0)
+    np.random.seed(7)
+    return rng.uniform() * scale + random.random()

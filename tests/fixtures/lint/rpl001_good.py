@@ -1,0 +1,6 @@
+"""Good: all randomness drawn from a named registry stream."""
+
+
+def jitter(scale, registry):
+    rng = registry.stream("jitter")
+    return rng.uniform() * scale

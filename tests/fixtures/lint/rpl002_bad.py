@@ -1,0 +1,10 @@
+"""Bad: wall-clock reads inside simulation code (RPL002 x3)."""
+
+import time
+from datetime import datetime
+
+
+def stamp(events):
+    started = time.perf_counter()
+    wall = datetime.now()
+    return started, wall, time.time()

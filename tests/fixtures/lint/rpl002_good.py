@@ -1,0 +1,5 @@
+"""Good: simulation code reads only the event-driven sim clock."""
+
+
+def stamp(sim, events):
+    return [(sim.now, e) for e in events]

@@ -1,0 +1,10 @@
+"""Bad: unordered set iteration reaching output (RPL003 x3)."""
+
+
+def schedule(addrs, extra):
+    out = []
+    for addr in set(addrs):
+        out.append(addr)
+    picked = [a for a in {3, 1, 2}]
+    fresh = list(addrs.keys() - extra.keys())
+    return out, picked, fresh

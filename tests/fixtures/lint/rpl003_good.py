@@ -1,0 +1,10 @@
+"""Good: every unordered expression is sorted before iteration."""
+
+
+def schedule(addrs, extra):
+    out = []
+    for addr in sorted(set(addrs)):
+        out.append(addr)
+    picked = [a for a in sorted({3, 1, 2})]
+    fresh = sorted(addrs.keys() - extra.keys())
+    return out, picked, fresh

@@ -1,0 +1,8 @@
+"""Bad: PYTHONHASHSEED- and OS-dependent seed derivation (RPL004 x3)."""
+
+import os
+
+
+def derive_worker_seed(name, index):
+    salted = hash(name) ^ hash(f"worker-{index}")
+    return salted ^ int.from_bytes(os.urandom(4), "big")

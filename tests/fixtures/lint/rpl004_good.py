@@ -1,0 +1,7 @@
+"""Good: seeds derived with the SHA-256 helper, never hash()/urandom."""
+
+from repro.sim.rng import derive_seed
+
+
+def derive_worker_seed(master, index):
+    return derive_seed(master, f"worker-{index}")

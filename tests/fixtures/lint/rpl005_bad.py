@@ -1,0 +1,11 @@
+"""Bad: mutable default arguments shared across calls (RPL005 x3)."""
+
+
+def collect(item, seen=set(), acc=[]):
+    seen.add(item)
+    acc.append(item)
+    return acc
+
+
+def tally(counts={}):
+    return counts

@@ -1,0 +1,9 @@
+"""Good: defaults are None; containers are created per call."""
+
+
+def collect(item, seen=None, acc=None):
+    seen = set() if seen is None else seen
+    acc = [] if acc is None else acc
+    seen.add(item)
+    acc.append(item)
+    return acc
