@@ -174,6 +174,8 @@ class HierarchicalBackprop:
         self.telemetry = telemetry
         # asn -> open "as_session" span (telemetry only).
         self._as_spans: Dict[int, object] = {}
+        # asn -> "as_session_open" journal event (telemetry only).
+        self._as_journal: Dict[int, object] = {}
         # 1-based epochs during which the server acts as a honeypot;
         # None = every epoch (single-server teaching setup).
         self.honeypot_epochs = honeypot_epochs
@@ -194,7 +196,10 @@ class HierarchicalBackprop:
         self.progressive = progressive
         from .progressive import IntermediateASList
 
-        self.frontier = IntermediateASList(rho=rho)
+        self.frontier = IntermediateASList(
+            rho=rho,
+            journal=telemetry.journal if telemetry is not None else None,
+        )
         # asn -> downstream asn the active session came from.
         self._session_from: Dict[int, Optional[int]] = {}
         self._sessions: Dict[int, int] = {}  # asn -> epoch
@@ -270,6 +275,12 @@ class HierarchicalBackprop:
                 root = tele.open_session(self.topo.server.addr, epoch)
                 tele.spans.event("honeypot_hit", parent=root, hits=self._count)
                 tele.spans.event("session_open", parent=root)
+                tele.journal.record(
+                    "honeypot_hit",
+                    parent=tele.journal_root(self.topo.server.addr, epoch),
+                    server=self.topo.server.addr,
+                    hits=self._count,
+                )
             # Fig. 2(a): the server alerts the HSM of its home AS.
             msg = HoneypotRequest(self.topo.server.addr, epoch, origin_as=-1)
             self.topo.server.send_control(
@@ -279,6 +290,12 @@ class HierarchicalBackprop:
     def _epoch_boundary(self) -> None:
         epoch = self._epoch()
         self._count = 0
+        if self.telemetry is not None:
+            self.telemetry.journal.record(
+                "epoch_roll",
+                epoch=epoch,
+                honeypot=self._is_honeypot_epoch(epoch),
+            )
         prev = epoch - 1
         if self._triggered_epoch == prev:
             # Fig. 2(c): cancel the session tree of the ended epoch.
@@ -316,6 +333,11 @@ class HierarchicalBackprop:
                 tele.spans.event(
                     "progressive_resume",
                     parent=tele.session_span(self.topo.server.addr, epoch),
+                    asn=asn,
+                )
+                tele.journal.record(
+                    "progressive_resume",
+                    parent=tele.journal_root(self.topo.server.addr, epoch),
                     asn=asn,
                 )
             msg = HoneypotRequest(self.topo.server.addr, epoch, origin_as=-1)
@@ -368,6 +390,12 @@ class HierarchicalBackprop:
                 "as_session", parent=root, asn=asn,
                 from_as=-1 if from_as is None else from_as,
             )
+            self._as_journal[asn] = tele.journal.record(
+                "as_session_open",
+                parent=tele.journal_root(honeypot_addr, epoch),
+                asn=asn,
+                from_as=-1 if from_as is None else from_as,
+            )
             tele.registry.counter("backprop_as_sessions_total").inc()
         # Divert honeypot traffic entering from every neighbor AS
         # except the downstream one (traffic *to* the honeypot never
@@ -379,6 +407,12 @@ class HierarchicalBackprop:
                     tele.spans.event(
                         "diversion", parent=self._as_spans.get(asn),
                         asn=asn, neighbor=nbr,
+                    )
+                    tele.journal.record(
+                        "hsm_diversion",
+                        parent=self._as_journal.get(asn),
+                        asn=asn,
+                        neighbor=nbr,
                     )
         # Intra-AS: seed the AS's routers with a local session so input
         # debugging can walk to any attack hosts inside this AS.
@@ -395,6 +429,11 @@ class HierarchicalBackprop:
             span = self._as_spans.pop(asn, None)
             if span is not None:
                 self.telemetry.spans.end(span)
+            ev = self._as_journal.pop(asn, None)
+            if ev is not None:
+                self.telemetry.journal.record(
+                    "as_session_close", parent=ev, asn=asn
+                )
         # Progressive: a transit AS that relayed nothing upstream is the
         # frontier; it reports its identity + timestamp to the server.
         if (
@@ -406,6 +445,10 @@ class HierarchicalBackprop:
             from .messages import HoneypotReport
 
             self.messages["reports"] += 1
+            if self.telemetry is not None:
+                self.telemetry.journal.record(
+                    "frontier_report", asn=asn, lost=False
+                )
             site.hsm.send_control(
                 self.topo.server.addr,
                 HoneypotReport(honeypot_addr, epoch, asn, self.sim.now),
@@ -462,6 +505,15 @@ class HierarchicalBackprop:
                 )
                 tele.spans.event(
                     "inter_as_hop", parent=parent, from_as=asn, to_as=upstream
+                )
+                ev_parent = self._as_journal.get(asn)
+                tele.journal.record(
+                    "ingress_identified", parent=ev_parent, asn=asn,
+                    upstream=upstream,
+                )
+                tele.journal.record(
+                    "inter_as_hop", parent=ev_parent, from_as=asn,
+                    to_as=upstream,
                 )
                 tele.registry.counter("backprop_inter_as_hops_total").inc()
             request = HoneypotRequest(honeypot_addr, epoch, origin_as=asn)

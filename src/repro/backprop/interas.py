@@ -191,6 +191,8 @@ class InterASBackprop:
         self.telemetry = telemetry
         # (asn, epoch) -> open "as_session" span (telemetry only).
         self._as_spans: Dict[Tuple[int, int], object] = {}
+        # (asn, epoch) -> "as_session_open" journal event (telemetry only).
+        self._as_journal: Dict[Tuple[int, int], object] = {}
 
         self.keyring = KeyRing()
         for a, b in topo.graph.edges:
@@ -212,7 +214,10 @@ class InterASBackprop:
             self._paths[atk.attacker_id] = topo.path_from_victim(atk.asn)
             atk._schedule = schedule if atk.follower_d is not None else None
 
-        self.frontier_list = IntermediateASList(self.config.rho)
+        self.frontier_list = IntermediateASList(
+            self.config.rho,
+            journal=telemetry.journal if telemetry is not None else None,
+        )
         self._loss_rng = RngRegistry(self.config.loss_seed).stream("interas.loss")
         self.captures: Dict[int, float] = {}
         self.messages = {
@@ -269,6 +274,14 @@ class InterASBackprop:
         now = self.sim.now
         epoch = self.schedule.epoch_index(now + 1e-9)
         ep_start, ep_end = self.schedule.epoch_bounds(epoch)
+        if self.telemetry is not None:
+            self.telemetry.journal.record(
+                "epoch_roll",
+                epoch=epoch,
+                honeypot=bool(
+                    self.schedule.is_honeypot(self.server_index, epoch)
+                ),
+            )
         # Wrap up the previous epoch.
         if epoch > 1 and self.schedule.is_honeypot(self.server_index, epoch - 1):
             self._cancel_epoch(epoch - 1)
@@ -328,6 +341,9 @@ class InterASBackprop:
                 self.telemetry.spans.event(
                     "progressive_resume", asn=asn, epoch=next_epoch
                 )
+                self.telemetry.journal.record(
+                    "progressive_resume", asn=asn, epoch=next_epoch
+                )
             self._roots.setdefault(next_epoch, set()).add(asn)
             self.sim.schedule_at(create_at, self._create_session, asn, next_epoch, None)
 
@@ -376,6 +392,16 @@ class InterASBackprop:
                 "as_session", parent=root, asn=asn,
                 from_as=-1 if from_as is None else from_as,
             )
+            open_ev = tele.journal.record(
+                "as_session_open",
+                parent=tele.journal_root(VICTIM_ADDR, epoch),
+                asn=asn,
+                from_as=-1 if from_as is None else from_as,
+            )
+            self._as_journal[key] = open_ev
+            # accept_request just installed the HSM's diversion filter
+            # for this (new) session.
+            tele.journal.record("hsm_diversion", parent=open_ev, asn=asn)
             tele.registry.counter("backprop_as_sessions_total").inc()
         if not self.topo.is_transit(asn):
             if asn == self.topo.victim_as:
@@ -437,6 +463,14 @@ class InterASBackprop:
             )
             tele.spans.event(
                 "inter_as_hop", parent=parent, from_as=asn, to_as=upstream
+            )
+            ev_parent = self._as_journal.get(key)
+            tele.journal.record(
+                "ingress_identified", parent=ev_parent, asn=asn,
+                upstream=upstream,
+            )
+            tele.journal.record(
+                "inter_as_hop", parent=ev_parent, from_as=asn, to_as=upstream
             )
             tele.registry.counter("backprop_inter_as_hops_total").inc()
         if self.deployment.deploys(upstream):
@@ -500,6 +534,12 @@ class InterASBackprop:
                 host=attacker_id,
                 asn=asn,
             )
+            tele.journal.record(
+                "port_close",
+                parent=self._as_journal.get((asn, epoch)),
+                host=attacker_id,
+                asn=asn,
+            )
         # Retire the stub's retained session once its attackers are done.
         if all(
             a.attacker_id in self.captures
@@ -517,6 +557,11 @@ class InterASBackprop:
                     span = self._as_spans.pop(key, None)
                     if span is not None:
                         self.telemetry.spans.end(span, captured=True)
+                    ev = self._as_journal.pop(key, None)
+                    if ev is not None:
+                        self.telemetry.journal.record(
+                            "as_session_close", parent=ev, captured=True
+                        )
 
     # ------------------------------------------------------------------
     # Cancels and frontier reports
@@ -560,6 +605,11 @@ class InterASBackprop:
             span = self._as_spans.pop(key, None)
             if span is not None:
                 self.telemetry.spans.end(span)
+            ev = self._as_journal.pop(key, None)
+            if ev is not None:
+                self.telemetry.journal.record(
+                    "as_session_close", parent=ev, stalled=stalled
+                )
         if sess is not None and sess.epoch == epoch:
             hsm.drop_session(VICTIM_ADDR)
         # Progressive frontier report from stalled *transit* ASs.
@@ -570,10 +620,13 @@ class InterASBackprop:
         """A stalled transit AS reports its identity + timestamp to S
         (possibly lost in transit when failure injection is enabled)."""
         self.messages["reports"] += 1
-        if (
+        lost = (
             self.config.report_loss_prob > 0.0
             and self._loss_rng.random() < self.config.report_loss_prob
-        ):
+        )
+        if self.telemetry is not None:
+            self.telemetry.journal.record("frontier_report", asn=asn, lost=lost)
+        if lost:
             self.messages["reports_lost"] = self.messages.get("reports_lost", 0) + 1
             return
         t_a = self._dist[asn] * self.config.per_hop_delay

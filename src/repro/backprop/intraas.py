@@ -79,6 +79,7 @@ class BackpropRouterAgent:
         self.telemetry = telemetry
         self.sessions: Dict[int, HoneypotSession] = {}
         self._session_spans: Dict[int, Any] = {}
+        self._session_events: Dict[int, Any] = {}
         self.port_filter = PortBlockFilter()
         self.captures: List[CaptureRecord] = []
         # Channels crossing an AS boundary: local honeypot messages must
@@ -142,6 +143,12 @@ class BackpropRouterAgent:
                 router=self.router.addr,
                 upstream=in_channel.src.addr,
             )
+            tele.journal.record(
+                "hop_relay",
+                parent=self._session_events.get(sess.honeypot_addr),
+                router=self.router.addr,
+                upstream=in_channel.src.addr,
+            )
 
     def _block_port(self, sess: HoneypotSession, in_channel: Channel) -> None:
         if self.sessions.get(sess.honeypot_addr) is not sess:
@@ -162,6 +169,12 @@ class BackpropRouterAgent:
                 tele.spans.event(
                     "port_close",
                     parent=self._session_spans.get(sess.honeypot_addr),
+                    host=record.host_addr,
+                    access_router=record.access_router_addr,
+                )
+                tele.journal.record(
+                    "port_close",
+                    parent=self._session_events.get(sess.honeypot_addr),
                     host=record.host_addr,
                     access_router=record.access_router_addr,
                 )
@@ -186,10 +199,21 @@ class BackpropRouterAgent:
                 stale = self._session_spans.pop(msg.honeypot_addr, None)
                 if stale is not None:  # replaced without a cancel
                     tele.spans.end(stale)
+                stale_ev = self._session_events.pop(msg.honeypot_addr, None)
+                if stale_ev is not None:
+                    tele.journal.record(
+                        "intra_session_close", parent=stale_ev, replaced=True
+                    )
                 root = tele.open_session(msg.honeypot_addr, msg.epoch)
                 self._session_spans[msg.honeypot_addr] = tele.spans.start(
                     "intra_input_debugging",
                     parent=root,
+                    router=self.router.addr,
+                    epoch=msg.epoch,
+                )
+                self._session_events[msg.honeypot_addr] = tele.journal.record(
+                    "intra_session_open",
+                    parent=tele.journal_root(msg.honeypot_addr, msg.epoch),
                     router=self.router.addr,
                     epoch=msg.epoch,
                 )
@@ -208,15 +232,32 @@ class BackpropRouterAgent:
             span = self._session_spans.pop(msg.honeypot_addr, None)
             if span is not None:
                 tele.spans.end(span, ingress_ports=len(sess.ingress_counts))
-        # Cascade cancels along the request tree; port blocks persist.
-        for upstream in sess.propagated_to:
-            if isinstance(upstream, Channel) and isinstance(upstream.src, Router):
-                self.router.send_control(
-                    upstream.src.addr,
-                    LocalHoneypotCancel(msg.honeypot_addr, msg.epoch),
-                    size=self.config.control_packet_size,
+            ev = self._session_events.pop(msg.honeypot_addr, None)
+            if ev is not None:
+                tele.journal.record(
+                    "intra_session_close",
+                    parent=ev,
+                    ingress_ports=len(sess.ingress_counts),
                 )
-                self.cancels_sent += 1
+        # Cascade cancels along the request tree; port blocks persist.
+        # Sorted by upstream router address: the set holds Channel
+        # objects whose hash is id()-based, so raw iteration order would
+        # differ between a serial run and a pool worker process.
+        upstreams = sorted(
+            (
+                u
+                for u in sess.propagated_to
+                if isinstance(u, Channel) and isinstance(u.src, Router)
+            ),
+            key=lambda ch: ch.src.addr,
+        )
+        for upstream in upstreams:
+            self.router.send_control(
+                upstream.src.addr,
+                LocalHoneypotCancel(msg.honeypot_addr, msg.epoch),
+                size=self.config.control_packet_size,
+            )
+            self.cancels_sent += 1
 
 
 class HoneypotServerAgent:
@@ -284,6 +325,12 @@ class HoneypotServerAgent:
                     hits=self._count_this_epoch,
                 )
                 tele.spans.event("session_open", parent=root)
+                tele.journal.record(
+                    "honeypot_hit",
+                    parent=tele.journal_root(self.server.addr, epoch),
+                    server=self.server.addr,
+                    hits=self._count_this_epoch,
+                )
             self.server.send_control(
                 self.access_router.addr,
                 LocalHoneypotRequest(self.server.addr, epoch),

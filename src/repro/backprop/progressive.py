@@ -22,7 +22,7 @@ Two maintenance rules bound the list (implemented verbatim):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["IntermediateASEntry", "IntermediateASList"]
 
@@ -40,10 +40,12 @@ class IntermediateASEntry:
 class IntermediateASList:
     """The server's frontier list with the two maintenance rules."""
 
-    def __init__(self, rho: int = 3) -> None:
+    def __init__(self, rho: int = 3, journal: Optional[Any] = None) -> None:
         if rho < 1:
             raise ValueError(f"rho must be >= 1 (got {rho})")
         self.rho = rho
+        # Optional repro.obs Journal: frontier add/flag/retire events.
+        self.journal = journal
         self._entries: Dict[int, IntermediateASEntry] = {}
         self.reports_received = 0
         self.removed_by_flag_rule = 0
@@ -56,6 +58,10 @@ class IntermediateASList:
         entry = self._entries.get(asn)
         if entry is None:
             self._entries[asn] = IntermediateASEntry(asn, time_distance)
+            if self.journal is not None:
+                self.journal.record(
+                    "frontier_add", asn=asn, t_a=time_distance
+                )
         else:
             entry.time_distance = time_distance
             entry.reported_this_epoch = True
@@ -70,12 +76,18 @@ class IntermediateASList:
                 # (or the report was lost; propagation then restarts).
                 del self._entries[asn]
                 self.removed_by_flag_rule += 1
+                if self.journal is not None:
+                    self.journal.record("frontier_retire", asn=asn, rule="flag")
             elif entry.consecutive_reports >= self.rho:
                 # Rule 2: stuck frontier, bound the list size.
                 del self._entries[asn]
                 self.removed_by_rho_rule += 1
+                if self.journal is not None:
+                    self.journal.record("frontier_retire", asn=asn, rule="rho")
             else:
                 entry.reported_this_epoch = False
+                if self.journal is not None:
+                    self.journal.record("frontier_flag", asn=asn)
 
     # ------------------------------------------------------------------
     def resume_targets(self) -> List[Tuple[int, float]]:

@@ -13,13 +13,28 @@ Usage::
         --checkpoint sweep.ck.json --out sweep.json
     python -m repro analyze --scheme progressive --m 10 --p 0.4 --h 10 \
         --r 10 --tau 1 --t-on 3 --t-off 10
+    python -m repro stats --scale quick --journal-out run.jsonl
+    python -m repro replay run.jsonl
+    python -m repro replay --check serial.jsonl pool.jsonl
+    python -m repro report run.jsonl --html report.html
+    python -m repro regress --summary benchmarks/out/summary.json
 
-``--metrics-out FILE`` on a figure command (and on ``stats``) attaches
-the :mod:`repro.obs` telemetry layer to the figure's simulation runs
-and writes the machine-readable run artifact — metrics registry, span
-timelines, and engine self-profile — as JSON.  ``stats`` runs the
-standard quick scenario under full observability and prints the
-human-readable telemetry dump.
+``--metrics-out FILE`` on a figure command (and on ``stats`` and
+``sweep``) attaches the :mod:`repro.obs` telemetry layer to the
+simulation runs and writes the machine-readable run artifact — metrics
+registry, span timelines, causal event journal, and engine
+self-profile — as JSON.  ``--journal-out FILE`` writes just the causal
+event journal in its canonical JSONL form (``repro.journal/1``).
+``stats`` runs the standard quick scenario under full observability
+and prints the human-readable telemetry dump.
+
+``replay`` reconstructs the traceback tree from a journal alone
+(``--check A B`` structurally diffs two journals and exits nonzero
+naming the first diverging event); ``report`` renders the causal tree
+as ASCII or a self-contained HTML timeline; ``regress`` compares a
+bench summary against the committed baseline with per-metric tolerance
+bands, records a ``BENCH_<n>.json`` trajectory point, and exits 0/1 —
+the CI regression gate.
 
 ``--jobs N`` (or ``$REPRO_JOBS``) fans independent scenario runs out
 over the :mod:`repro.parallel` worker pool; results are identical to a
@@ -70,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="instrument the runs with repro.obs and write the "
             "telemetry artifact (metrics + spans + engine profile) as JSON",
+        )
+        p.add_argument(
+            "--journal-out",
+            metavar="FILE",
+            default=None,
+            help="instrument the runs and write the causal event journal "
+            "in canonical JSONL form (repro.journal/1)",
         )
         p.add_argument(
             "--jobs",
@@ -147,6 +169,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the machine-readable sweep artifact as JSON",
     )
+    w.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="instrument every sweep task and write the merged "
+        "telemetry artifact (worker artifacts absorbed in task order, "
+        "identical to a serial instrumented sweep)",
+    )
+    w.add_argument(
+        "--journal-out",
+        metavar="FILE",
+        default=None,
+        help="also write the merged causal event journal as JSONL",
+    )
 
     lint_p = sub.add_parser(
         "lint",
@@ -187,6 +223,108 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="also write the telemetry artifact as JSON",
+    )
+    s.add_argument(
+        "--journal-out",
+        metavar="FILE",
+        default=None,
+        help="also write the causal event journal as JSONL",
+    )
+
+    rp = sub.add_parser(
+        "replay",
+        help="reconstruct (and optionally diff) the causal traceback "
+        "tree from a journal alone",
+    )
+    rp.add_argument(
+        "journals",
+        nargs="+",
+        metavar="JOURNAL",
+        help="journal JSONL file or repro.obs/1 artifact JSON "
+        "(two files with --check)",
+    )
+    rp.add_argument(
+        "--check",
+        action="store_true",
+        help="structurally diff two journals; exit 1 naming the first "
+        "diverging event",
+    )
+    rp.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the full ASCII causal tree",
+    )
+    rp.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="truncate the --tree rendering after N events",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="render a journal's per-session causal tree (ASCII, or a "
+        "self-contained HTML timeline)",
+    )
+    rep.add_argument(
+        "journal",
+        metavar="JOURNAL",
+        help="journal JSONL file or repro.obs/1 artifact JSON",
+    )
+    rep.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="write the self-contained HTML timeline artifact",
+    )
+    rep.add_argument(
+        "--title",
+        default="repro journal",
+        help="title of the HTML report",
+    )
+    rep.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="truncate the ASCII rendering after N events",
+    )
+
+    g = sub.add_parser(
+        "regress",
+        help="gate a bench summary against the committed baseline "
+        "(tolerance-banded; exit 1 on regression)",
+    )
+    g.add_argument(
+        "--summary",
+        metavar="FILE",
+        default="benchmarks/out/summary.json",
+        help="bench summary to check (default: benchmarks/out/summary.json)",
+    )
+    g.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default="benchmarks/baseline.json",
+        help="committed baseline (default: benchmarks/baseline.json)",
+    )
+    g.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="benchmarks/out",
+        help="directory for BENCH_<n>.json trajectory points "
+        "(default: benchmarks/out)",
+    )
+    g.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip writing the BENCH_<n>.json trajectory point",
+    )
+    g.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the summary (preserving "
+        "per-metric tolerance bands) instead of gating",
     )
 
     a = sub.add_parser(
@@ -245,6 +383,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return lint_main(argv_lint)
     if args.command == "sweep":
         return _run_sweep_command(args)
+    if args.command == "replay":
+        return _run_replay_command(args)
+    if args.command == "report":
+        return _run_report_command(args)
+    if args.command == "regress":
+        return _run_regress_command(args)
     if args.command == "stats":
         from dataclasses import replace
 
@@ -255,9 +399,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry = Telemetry()
         params = replace(_scenario_base(args.scale), defense=args.defense)
         result = run_tree_scenario(params, telemetry=telemetry)
-        # Write the artifact before printing: stdout may be a closed
-        # pipe (`... | head`), and the artifact must survive that.
+        # Write the artifacts before printing: stdout may be a closed
+        # pipe (`... | head`), and the artifacts must survive that.
         path = telemetry.write(args.metrics_out) if args.metrics_out else None
+        journal_path = _write_journal(telemetry, args.journal_out)
         try:
             print(telemetry.render())
             print(
@@ -266,11 +411,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             if path:
                 print(f"telemetry artifact written to {path}")
+            if journal_path:
+                print(f"journal written to {journal_path}")
         except BrokenPipeError:
             pass
         return 0
     telemetry = None
-    if getattr(args, "metrics_out", None):
+    if getattr(args, "metrics_out", None) or getattr(args, "journal_out", None):
         from .obs import Telemetry
 
         telemetry = Telemetry()
@@ -280,14 +427,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry=telemetry,
         jobs=getattr(args, "jobs", None),
     )
-    path = telemetry.write(args.metrics_out) if telemetry is not None else None
+    path = (
+        telemetry.write(args.metrics_out)
+        if telemetry is not None and args.metrics_out
+        else None
+    )
+    journal_path = _write_journal(telemetry, getattr(args, "journal_out", None))
     try:
         print(text)
         if path:
             print(f"telemetry artifact written to {path}")
+        if journal_path:
+            print(f"journal written to {journal_path}")
     except BrokenPipeError:  # e.g. piped into `head`
         pass
     return 0
+
+
+def _write_journal(telemetry, path: Optional[str]) -> Optional[str]:
+    """Write ``telemetry``'s journal as canonical JSONL (if asked)."""
+    if telemetry is None or not path:
+        return None
+    return telemetry.journal.write_jsonl(path)
 
 
 def _parse_sweep_values(base, field: str, raw: str) -> list:
@@ -324,6 +485,11 @@ def _run_sweep_command(args) -> int:
         max_attempts=args.max_attempts,
     )
     checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
+    telemetry = None
+    if args.metrics_out or args.journal_out:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
 
     def progress(outcome):
         tag = "resumed" if outcome.resumed else outcome.status
@@ -341,8 +507,15 @@ def _run_sweep_command(args) -> int:
         pool_config=config,
         checkpoint=checkpoint,
         on_outcome=progress,
+        telemetry=telemetry,
     )
     path = write_json(args.out, run.artifact()) if args.out else None
+    metrics_path = (
+        telemetry.write(args.metrics_out)
+        if telemetry is not None and args.metrics_out
+        else None
+    )
+    journal_path = _write_journal(telemetry, args.journal_out)
     try:
         for value, results in run.results.items():
             pcts = ", ".join(
@@ -354,9 +527,122 @@ def _run_sweep_command(args) -> int:
             print(f"QUARANTINED {task_id}: {err}")
         if path:
             print(f"sweep artifact written to {path}")
+        if metrics_path:
+            print(f"telemetry artifact written to {metrics_path}")
+        if journal_path:
+            print(f"journal written to {journal_path}")
     except BrokenPipeError:
         pass
     return run.report.exit_code
+
+
+def _run_replay_command(args) -> int:
+    from .obs.journal import (
+        JournalError,
+        diff_journals,
+        load_journal,
+        render_tree,
+        replay_summary,
+    )
+
+    if args.check:
+        if len(args.journals) != 2:
+            raise SystemExit("error: --check needs exactly two journals")
+        a, b = (load_journal(p) for p in args.journals)
+        divergence = diff_journals(a, b)
+        if divergence is None:
+            print(f"journals identical ({len(a.events)} events)")
+            return 0
+        print(f"journals diverge at event {divergence['index']}:")
+        print(f"  {divergence['reason']}")
+        print(f"  a: {divergence['a']}")
+        print(f"  b: {divergence['b']}")
+        return 1
+    if len(args.journals) != 1:
+        raise SystemExit("error: replay takes one journal (two with --check)")
+    try:
+        journal = load_journal(args.journals[0])
+        print(replay_summary(journal))
+        if args.tree:
+            print(render_tree(journal, max_events=args.max_events))
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _run_report_command(args) -> int:
+    from .obs.journal import JournalError, load_journal, render_html, render_tree
+
+    try:
+        journal = load_journal(args.journal)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.html:
+        import os
+
+        parent = os.path.dirname(args.html)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(journal, title=args.title))
+        print(f"HTML report written to {args.html}")
+        return 0
+    try:
+        print(render_tree(journal, max_events=args.max_events))
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _run_regress_command(args) -> int:
+    import json
+
+    from .obs.regress import (
+        baseline_from_summary,
+        compare_to_baseline,
+        load_baseline,
+        load_summary,
+        write_trajectory_point,
+    )
+
+    try:
+        summary = load_summary(args.summary)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load summary: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        existing = None
+        try:
+            existing = load_baseline(args.baseline)
+        except (OSError, ValueError):
+            pass
+        doc = baseline_from_summary(summary, existing=existing)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    report = compare_to_baseline(summary, baseline)
+    try:
+        print(report.render())
+    except BrokenPipeError:
+        pass
+    if not args.no_trajectory:
+        path = write_trajectory_point(summary, report, args.out_dir)
+        try:
+            print(f"trajectory point written to {path}")
+        except BrokenPipeError:
+            pass
+    return report.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

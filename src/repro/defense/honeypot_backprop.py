@@ -53,6 +53,7 @@ class HoneypotBackpropDefense(Defense):
 
     def attach(self, network: Network) -> None:
         sim = network.sim
+        self.pool.telemetry = self.telemetry
         for router in network.routers():
             self.router_agents.append(
                 BackpropRouterAgent(

@@ -91,17 +91,29 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Pool task function: one scenario run -> JSON-ready envelope.
 
     Module-level so worker processes can unpickle it by reference.
-    ``payload`` is ``{"params": TreeScenarioParams, "telemetry": bool}``;
-    when telemetry is requested the worker builds its own
-    :class:`~repro.obs.Telemetry` and ships the artifact dict back for
-    the parent to merge (a live telemetry cannot cross the process
+    ``payload`` is ``{"params": TreeScenarioParams, "telemetry": bool,
+    "task": str}``; when telemetry is requested the worker builds its
+    own :class:`~repro.obs.Telemetry` and ships the artifact dict back
+    for the parent to merge (a live telemetry cannot cross the process
     boundary — its span clock closes over the worker's simulator).
+    The run is bracketed with ``pool_task_start`` / ``pool_task_finish``
+    journal events, mirrored exactly by :func:`run_many`'s serial path
+    so serial and pool journals stay byte-identical.
     """
     from ..obs import Telemetry  # local import keeps workers lean
 
     params: TreeScenarioParams = payload["params"]
     telemetry = Telemetry() if payload.get("telemetry") else None
+    if telemetry is not None:
+        # at=0.0: the scenario's simulator clock starts there; a serial
+        # run's shared clock would otherwise read the *previous*
+        # scenario's final time here.
+        telemetry.journal.record(
+            "pool_task_start", at=0.0, task=payload.get("task")
+        )
     result = run_tree_scenario(params, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.journal.record("pool_task_finish", task=payload.get("task"))
     return {
         "result": result_to_dict(result),
         "telemetry": telemetry.artifact() if telemetry is not None else None,
@@ -117,7 +129,11 @@ def _scenario_tasks(
         Task(
             task_id=str(key),
             fn=task_fn,
-            payload={"params": params, "telemetry": bool(instrument(key))},
+            payload={
+                "params": params,
+                "telemetry": bool(instrument(key)),
+                "task": str(key),
+            },
         )
         for key, params in named_params
     ]
@@ -151,12 +167,17 @@ def run_many(
         instrument = lambda key: telemetry is not None
     jobs = pool_config.jobs if pool_config is not None else resolve_jobs(jobs)
     if jobs <= 1 and pool_config is None:
-        return {
-            key: run_tree_scenario(
-                params, telemetry=telemetry if instrument(key) else None
-            )
-            for key, params in named_params.items()
-        }
+        out_serial: Dict[Any, TreeScenarioResult] = {}
+        for key, params in named_params.items():
+            run_telemetry = telemetry if instrument(key) else None
+            if run_telemetry is not None:
+                run_telemetry.journal.record(
+                    "pool_task_start", at=0.0, task=str(key)
+                )
+            out_serial[key] = run_tree_scenario(params, telemetry=run_telemetry)
+            if run_telemetry is not None:
+                run_telemetry.journal.record("pool_task_finish", task=str(key))
+        return out_serial
     tasks = _scenario_tasks(
         [(k, p) for k, p in named_params.items()],
         instrument if telemetry is not None else (lambda key: False),
@@ -219,12 +240,14 @@ def plan_sweep_tasks(
     values: Sequence[Any],
     seeds: Sequence[int],
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
+    telemetry: bool = False,
 ) -> List[Task]:
     """One task per (value, seed) pair, under stable ids.
 
     Ids are pure functions of the sweep coordinates — never of order or
     worker — so checkpoints match across runs and duplicate (value,
-    seed) pairs are rejected by the pool.
+    seed) pairs are rejected by the pool.  ``telemetry=True`` makes
+    every worker build and ship back a telemetry artifact.
     """
     if not hasattr(base, field_name):
         raise ValueError(f"unknown sweep field {field_name!r}")
@@ -234,7 +257,8 @@ def plan_sweep_tasks(
             fn=task_fn,
             payload={
                 "params": replace(base, **{field_name: v}, seed=int(s)),
-                "telemetry": False,
+                "telemetry": telemetry,
+                "task": f"{field_name}={v!r}/seed={int(s)}",
             },
         )
         for v in values
@@ -293,18 +317,34 @@ def run_sweep(
     checkpoint: Optional[SweepCheckpoint] = None,
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
     on_outcome: Optional[Callable[[Any], None]] = None,
+    telemetry: Any = None,
 ) -> SweepRun:
     """Sweep one parameter over the pool; quarantine-tolerant.
 
     Unlike :func:`sweep_scenario` this never raises on a poisoned
     point: the :class:`SweepRun` reports quarantined tasks and its
-    ``report.exit_code`` reflects partial failure.
+    ``report.exit_code`` reflects partial failure.  With a
+    ``telemetry``, every task is instrumented and worker artifacts are
+    absorbed in *task* order (never completion order), so the merged
+    metrics/spans/journal match a serial instrumented sweep.
     """
     values = list(values)
     seeds = [int(s) for s in seeds]
-    tasks = plan_sweep_tasks(base, field_name, values, seeds, task_fn=task_fn)
+    tasks = plan_sweep_tasks(
+        base,
+        field_name,
+        values,
+        seeds,
+        task_fn=task_fn,
+        telemetry=telemetry is not None,
+    )
     config = pool_config or PoolConfig(jobs=resolve_jobs(jobs))
     report = run_tasks(tasks, config, checkpoint=checkpoint, on_outcome=on_outcome)
+    if telemetry is not None:
+        for task in tasks:
+            outcome = report.outcomes.get(task.task_id)
+            if outcome is not None and outcome.ok and outcome.value.get("telemetry"):
+                absorb_artifact(telemetry, outcome.value["telemetry"])
     return SweepRun(
         base=base,
         field_name=field_name,

@@ -24,7 +24,7 @@ stragglers.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..sim.engine import Simulator, Timer
 from ..sim.node import Host
@@ -61,6 +61,9 @@ class RoamingServerPool:
         self.gamma = gamma
         self.epoch_listeners: List[EpochListener] = []
         self._timer: Optional[Timer] = None
+        # Set by the defense (HoneypotBackpropDefense.attach) before
+        # start(): each epoch announcement is journaled as epoch_roll.
+        self.telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Role queries
@@ -123,5 +126,9 @@ class RoamingServerPool:
     def _announce(self) -> None:
         epoch = self.current_epoch()
         active = frozenset(self.schedule.active_set(epoch))
+        if self.telemetry is not None:
+            self.telemetry.journal.record(
+                "epoch_roll", epoch=epoch, active=sorted(active)
+            )
         for listener in self.epoch_listeners:
             listener(epoch, active)

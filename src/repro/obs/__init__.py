@@ -19,7 +19,26 @@ from .export import (
     write_csv,
     write_json,
 )
+from .journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalError,
+    JournalEvent,
+    build_tree,
+    diff_journals,
+    load_journal,
+    render_html,
+    render_tree,
+    replay_summary,
+)
 from .profile import EngineProfiler
+from .regress import (
+    REGRESS_SCHEMA,
+    RegressReport,
+    compare_to_baseline,
+    load_baseline,
+    write_trajectory_point,
+)
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -36,13 +55,28 @@ __all__ = [
     "EngineProfiler",
     "Gauge",
     "Histogram",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalError",
+    "JournalEvent",
     "MetricsRegistry",
+    "REGRESS_SCHEMA",
+    "RegressReport",
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "build_tree",
+    "compare_to_baseline",
+    "diff_journals",
+    "load_baseline",
+    "load_journal",
     "load_json",
     "registry_to_prometheus",
+    "render_html",
+    "render_tree",
+    "replay_summary",
     "series_to_csv",
     "write_csv",
     "write_json",
+    "write_trajectory_point",
 ]

@@ -126,13 +126,20 @@ def registry_to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") ->
     for h in data["histograms"]:
         name = _prom_name(f"{prefix}{h['name']}")
         typed(name, "histogram")
+        counts = list(h["counts"])
+        bounds = list(h["buckets"])
         cumulative = 0
-        for bound, count in zip(h["buckets"], h["counts"]):
+        for bound, count in zip(bounds, counts):
             cumulative += count
             labels = dict(h["labels"], le=f"{bound:g}")
             lines.append(f"{name}_bucket{_prom_labels(labels)} {cumulative}")
+        # +Inf and _count come from the same counts array the finite
+        # buckets consumed (incl. the implicit overflow bucket), so the
+        # le-series is cumulative and monotone by construction — even
+        # for artifacts whose redundant "count" field drifted.
+        total = cumulative + sum(counts[len(bounds):])
         labels = dict(h["labels"], le="+Inf")
-        lines.append(f"{name}_bucket{_prom_labels(labels)} {h['count']}")
+        lines.append(f"{name}_bucket{_prom_labels(labels)} {total}")
         lines.append(f"{name}_sum{_prom_labels(h['labels'])} {h['sum']}")
-        lines.append(f"{name}_count{_prom_labels(h['labels'])} {h['count']}")
+        lines.append(f"{name}_count{_prom_labels(h['labels'])} {total}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,413 @@
+"""Flight recorder: the causal event journal (schema ``repro.journal/1``).
+
+The paper's defense is a cascade — honeypot hit, session open, HSM
+diversion, ingress-edge identification, inter-AS hops, intra-AS input
+debugging, port close, progressive resume — and validating a run means
+asking *what happened, after what, and is that order identical across
+runs and workers?*  Spans (:mod:`repro.obs.spans`) answer *when*; the
+journal answers *why-after-what*: an append-only log of
+:class:`JournalEvent` records with monotonically-assigned ids,
+simulation timestamps, and **causal parent links** forming one tree
+per honeypot session.
+
+Determinism contract (the regression tests diff this byte-for-byte):
+
+* ids are assigned in creation order, so same-seed runs produce
+  identical journals;
+* per-worker journals from the parallel pool are merged by offsetting
+  ids past the parent's (:func:`repro.parallel.absorb_artifact`),
+  exactly what a serial run sharing one journal would have produced;
+* the serialized JSONL form is canonical (sorted keys), so two equal
+  journals are equal as files.
+
+The replay half of the module reconstructs and checks the causal tree
+from the serialized journal alone: :func:`build_tree` validates the
+parent links, :func:`diff_journals` names the first diverging event
+between two journals, :func:`render_tree` / :func:`render_html` render
+the per-session traceback tree, and :func:`replay_summary` condenses a
+journal into the cascade's headline counts.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalError",
+    "JournalEvent",
+    "build_tree",
+    "diff_journals",
+    "load_journal",
+    "render_html",
+    "render_tree",
+    "replay_summary",
+]
+
+JOURNAL_SCHEMA = "repro.journal/1"
+
+
+class JournalError(ValueError):
+    """Malformed journal: bad schema, broken or acausal parent link."""
+
+
+class JournalEvent:
+    """One recorded occurrence, causally linked to its parent event."""
+
+    __slots__ = ("event_id", "name", "time", "parent_id", "attrs")
+
+    def __init__(
+        self,
+        event_id: int,
+        name: str,
+        time: float,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.event_id = event_id
+        self.name = name
+        self.time = time
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.event_id,
+            "name": self.name,
+            "t": self.time,
+            "parent": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JournalEvent":
+        return cls(
+            int(d["id"]),
+            str(d["name"]),
+            float(d["t"]),
+            None if d.get("parent") is None else int(d["parent"]),
+            dict(d.get("attrs", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parent = "root" if self.parent_id is None else f"<-{self.parent_id}"
+        return f"JournalEvent#{self.event_id}({self.name}@{self.time:.4f}, {parent})"
+
+
+class Journal:
+    """Append-only event log against a clock (usually ``lambda: sim.now``)."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.events: List[JournalEvent] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        parent: Optional[Union[JournalEvent, int]] = None,
+        at: Optional[float] = None,
+        **attrs: Any,
+    ) -> JournalEvent:
+        """Append one event; ``parent`` links it into a causal tree."""
+        parent_id: Optional[int]
+        if parent is None:
+            parent_id = None
+        elif isinstance(parent, JournalEvent):
+            parent_id = parent.event_id
+        else:
+            parent_id = int(parent)
+        event = JournalEvent(
+            len(self.events),
+            name,
+            self.clock() if at is None else at,
+            parent_id,
+            attrs,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, event_id: int) -> Optional[JournalEvent]:
+        if 0 <= event_id < len(self.events):
+            return self.events[event_id]
+        return None
+
+    def find(self, name: str) -> List[JournalEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.as_dict() for e in self.events]
+
+    @classmethod
+    def from_dicts(cls, dicts: List[Dict[str, Any]]) -> "Journal":
+        journal = cls()
+        for d in dicts:
+            journal.events.append(JournalEvent.from_dict(d))
+        return journal
+
+    def write_jsonl(
+        self, path: Union[str, os.PathLike], meta: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Write the canonical JSONL form: one schema header line, then
+        one event per line, all with sorted keys — byte-identical for
+        equal journals."""
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        header: Dict[str, Any] = {"schema": JOURNAL_SCHEMA, "events": len(self.events)}
+        if meta:
+            header.update(meta)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, os.PathLike]) -> "Journal":
+        journal = cls()
+        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                d = json.loads(line)
+                if lineno == 0:
+                    schema = d.get("schema")
+                    if schema != JOURNAL_SCHEMA:
+                        raise JournalError(
+                            f"unsupported journal schema {schema!r} "
+                            f"(expected {JOURNAL_SCHEMA!r})"
+                        )
+                    continue
+                journal.events.append(JournalEvent.from_dict(d))
+        return journal
+
+
+def load_journal(path: Union[str, os.PathLike]) -> Journal:
+    """Load a journal from its JSONL form *or* from a ``repro.obs/1``
+    run-artifact JSON (the ``"journal"`` key ``--metrics-out`` writes)."""
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return Journal.read_jsonl(path)
+    if isinstance(doc, dict) and isinstance(doc.get("journal"), list):
+        return Journal.from_dicts(doc["journal"])
+    if isinstance(doc, dict) and doc.get("schema") == JOURNAL_SCHEMA:
+        return Journal()  # a header-only JSONL file: zero events
+    raise JournalError(
+        f"{os.fspath(path)}: neither a {JOURNAL_SCHEMA} JSONL file nor a "
+        "repro.obs/1 artifact with a 'journal' key"
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay: tree reconstruction and validation
+# ----------------------------------------------------------------------
+def build_tree(
+    journal: Journal,
+) -> Tuple[List[JournalEvent], Dict[int, List[JournalEvent]]]:
+    """Reconstruct the causal forest: ``(roots, children-by-id)``.
+
+    Validates the causal invariants replay depends on: every parent
+    link must point at an *earlier* event of the journal (ids are
+    assigned in creation order, so causality implies ``parent < id``).
+    """
+    roots: List[JournalEvent] = []
+    children: Dict[int, List[JournalEvent]] = {}
+    for index, event in enumerate(journal.events):
+        if event.event_id != index:
+            raise JournalError(
+                f"event #{index} carries id {event.event_id} "
+                "(ids must be dense and ordered)"
+            )
+        if event.parent_id is None:
+            roots.append(event)
+            continue
+        if not 0 <= event.parent_id < index:
+            raise JournalError(
+                f"event #{event.event_id} ({event.name}) links to parent "
+                f"{event.parent_id}, which is not an earlier event"
+            )
+        children.setdefault(event.parent_id, []).append(event)
+    return roots, children
+
+
+def diff_journals(a: Journal, b: Journal) -> Optional[Dict[str, Any]]:
+    """Structurally compare two journals; ``None`` when identical.
+
+    Returns the first divergence as ``{"index", "reason", "a", "b"}``
+    where ``a``/``b`` are the diverging events' dicts (``None`` past
+    the end of the shorter journal) — the explainable replacement for
+    a byte-diff.
+    """
+    for index in range(max(len(a.events), len(b.events))):
+        ea = a.events[index] if index < len(a.events) else None
+        eb = b.events[index] if index < len(b.events) else None
+        if ea is None or eb is None:
+            short, longer = ("a", eb) if ea is None else ("b", ea)
+            assert longer is not None
+            return {
+                "index": index,
+                "reason": (
+                    f"journal {short} ends at event {index} but the other "
+                    f"continues with {longer.name!r}"
+                ),
+                "a": None if ea is None else ea.as_dict(),
+                "b": None if eb is None else eb.as_dict(),
+            }
+        da, db = ea.as_dict(), eb.as_dict()
+        if da != db:
+            fields = [
+                k
+                for k in ("name", "t", "parent", "attrs")
+                if da[k] != db[k]
+            ]
+            return {
+                "index": index,
+                "reason": (
+                    f"event {index} ({ea.name!r}) diverges in "
+                    f"{', '.join(fields)}"
+                ),
+                "a": da,
+                "b": db,
+            }
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _attr_text(attrs: Dict[str, Any]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_tree(journal: Journal, max_events: Optional[int] = None) -> str:
+    """ASCII causal forest, one indented line per event (id order)."""
+    roots, children = build_tree(journal)
+    lines: List[str] = []
+    emitted = 0
+
+    # Iterative DFS: journals from long runs can nest deeply.
+    stack: List[Tuple[JournalEvent, int]] = [(r, 0) for r in reversed(roots)]
+    while stack:
+        event, depth = stack.pop()
+        if max_events is not None and emitted >= max_events:
+            lines.append(f"... ({len(journal.events) - emitted} more events)")
+            break
+        attrs = _attr_text(event.attrs)
+        suffix = f"  {attrs}" if attrs else ""
+        lines.append(
+            f"{'  ' * depth}[{event.event_id}] {event.name} "
+            f"t={event.time:.3f}{suffix}"
+        )
+        emitted += 1
+        for child in reversed(children.get(event.event_id, [])):
+            stack.append((child, depth + 1))
+    return "\n".join(lines)
+
+
+def replay_summary(journal: Journal) -> str:
+    """Condensed replay: cascade counts + per-name event totals."""
+    roots, _ = build_tree(journal)
+    by_name: Dict[str, int] = {}
+    for event in journal.events:
+        by_name[event.name] = by_name.get(event.name, 0) + 1
+    t0 = min((e.time for e in journal.events), default=0.0)
+    t1 = max((e.time for e in journal.events), default=0.0)
+    lines = [
+        f"journal: {len(journal.events)} events, {len(roots)} root(s), "
+        f"t=[{t0:.3f}, {t1:.3f}]",
+        f"sessions opened: {by_name.get('session_open', 0)}  "
+        f"closed: {by_name.get('session_close', 0)}  "
+        f"captures (port_close): {by_name.get('port_close', 0)}",
+    ]
+    for name in sorted(by_name):
+        lines.append(f"  {by_name[name]:6d}  {name}")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #111; color: #ddd; margin: 1.5em; }
+h1 { font-size: 1.1em; } h2 { font-size: 0.95em; color: #9cf; }
+.meta { color: #888; font-size: 0.85em; }
+.tree { margin: 0.6em 0 1.4em 0; }
+.row { position: relative; height: 1.35em; white-space: nowrap; }
+.label { display: inline-block; width: 34em; overflow: hidden;
+         text-overflow: ellipsis; vertical-align: middle; }
+.rail { position: absolute; left: 35em; right: 0; top: 0; bottom: 0;
+        background: #1a1a1a; }
+.dot { position: absolute; top: 0.25em; width: 0.55em; height: 0.55em;
+       border-radius: 50%; background: #6cf; }
+.dot.port_close { background: #f66; }
+.dot.session_open, .dot.session_close { background: #6f6; }
+.dot.epoch_roll { background: #fc6; }
+.t { color: #777; } .attrs { color: #998; }
+"""
+
+
+def render_html(journal: Journal, title: str = "repro journal") -> str:
+    """Self-contained HTML timeline of the causal forest (no external
+    assets — the CI artifact opens anywhere)."""
+    roots, children = build_tree(journal)
+    t0 = min((e.time for e in journal.events), default=0.0)
+    t1 = max((e.time for e in journal.events), default=0.0)
+    extent = max(t1 - t0, 1e-12)
+
+    body: List[str] = []
+    for root in roots:
+        subtree: List[Tuple[JournalEvent, int]] = []
+        stack: List[Tuple[JournalEvent, int]] = [(root, 0)]
+        while stack:
+            event, depth = stack.pop()
+            subtree.append((event, depth))
+            for child in reversed(children.get(event.event_id, [])):
+                stack.append((child, depth + 1))
+        head = html.escape(f"[{root.event_id}] {root.name} {_attr_text(root.attrs)}")
+        body.append(f"<h2>{head}</h2>")
+        body.append('<div class="tree">')
+        for event, depth in subtree:
+            left = 100.0 * (event.time - t0) / extent
+            name = html.escape(event.name)
+            attrs = html.escape(_attr_text(event.attrs))
+            indent = "&nbsp;" * (2 * depth)
+            body.append(
+                '<div class="row">'
+                f'<span class="label">{indent}[{event.event_id}] {name} '
+                f'<span class="t">t={event.time:.3f}</span> '
+                f'<span class="attrs">{attrs}</span></span>'
+                f'<span class="rail"><span class="dot {name}" '
+                f'style="left: {left:.2f}%"></span></span>'
+                "</div>"
+            )
+        body.append("</div>")
+
+    return (
+        "<!doctype html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_HTML_STYLE}</style></head>\n<body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f'<div class="meta">{len(journal.events)} events, {len(roots)} '
+        f"root(s), t=[{t0:.3f}, {t1:.3f}] — schema {JOURNAL_SCHEMA}</div>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from .export import registry_to_prometheus, write_json
+from .journal import Journal, JournalEvent
 from .profile import EngineProfiler
 from .registry import MetricsRegistry
 from .spans import Span, SpanRecorder
@@ -33,8 +34,10 @@ class Telemetry:
     def __init__(self, sim: Optional[Any] = None) -> None:
         self.registry = MetricsRegistry()
         self.spans = SpanRecorder()
+        self.journal = Journal()
         self.profiler = EngineProfiler()
         self.session_spans: Dict[SessionKey, Span] = {}
+        self.session_journal: Dict[SessionKey, JournalEvent] = {}
         # Free-form run-level payload merged into the artifact (figure
         # series, scenario parameters, capture summaries, ...).
         self.extra: Dict[str, Any] = {}
@@ -42,8 +45,11 @@ class Telemetry:
             self.bind(sim)
 
     def bind(self, sim: Any) -> "Telemetry":
-        """Clock the spans off ``sim`` and profile its event loop."""
+        """Clock the spans/journal off ``sim`` and profile its event
+        loop; the simulator also journals its own run boundaries."""
         self.spans.clock = lambda: sim.now
+        self.journal.clock = lambda: sim.now
+        sim.journal = self.journal
         self.profiler.attach(sim)
         return self
 
@@ -61,16 +67,32 @@ class Telemetry:
                 "honeypot_session", honeypot=honeypot_addr, epoch=epoch, **attrs
             )
             self.session_spans[key] = span
+            self.session_journal[key] = self.journal.record(
+                "session_open", honeypot=honeypot_addr, epoch=epoch, **attrs
+            )
             self.registry.counter("honeypot_sessions_total").inc()
         return span
 
     def session_span(self, honeypot_addr: int, epoch: int) -> Optional[Span]:
         return self.session_spans.get((honeypot_addr, epoch))
 
+    def journal_root(
+        self, honeypot_addr: int, epoch: int
+    ) -> Optional[JournalEvent]:
+        """The session's root journal event (the causal-tree anchor)."""
+        return self.session_journal.get((honeypot_addr, epoch))
+
     def close_session(self, honeypot_addr: int, epoch: int, **attrs: Any) -> None:
         span = self.session_spans.get((honeypot_addr, epoch))
+        already_closed = span is not None and span.end is not None
         if span is not None:
             self.spans.end(span, **attrs)
+        root = self.session_journal.get((honeypot_addr, epoch))
+        if root is not None and not already_closed:
+            self.journal.record(
+                "session_close", parent=root, honeypot=honeypot_addr,
+                epoch=epoch, **attrs,
+            )
 
     # ------------------------------------------------------------------
     # Post-run collection
@@ -133,6 +155,7 @@ class Telemetry:
             "schema": "repro.obs/1",
             "metrics": self.registry.as_dict(),
             "spans": self.spans.to_dicts(),
+            "journal": self.journal.to_dicts(),
             "engine": self.profiler.as_dict(),
         }
         payload.update(self.extra)
@@ -146,6 +169,11 @@ class Telemetry:
         parts = [registry_to_prometheus(self.registry)]
         if self.spans.spans:
             parts.append(self.spans.render_timeline())
+        if self.journal.events:
+            parts.append(
+                f"journal: {len(self.journal.events)} events recorded "
+                "(write with --journal-out, inspect with `repro replay`)"
+            )
         prof = self.profiler.as_dict()
         if prof["events_processed"]:
             parts.append(

@@ -10,6 +10,8 @@ back.  This module folds those artifacts into a parent telemetry:
 * spans are re-materialized with their ids offset past the parent's,
   preserving parent/child links — exactly what sequential serial runs
   sharing one recorder would have produced;
+* journal events merge under the same id-offsetting scheme, so the
+  consolidated flight recorder is byte-identical to a serial run's;
 * engine profiles accumulate (sums; heap high-water max);
 * leftover ``extra`` keys deep-merge with setdefault semantics,
   matching how serial runs populate ``telemetry.extra``.
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Sequence
 
+from ..obs.journal import JournalEvent
 from ..obs.registry import MetricsRegistry
 from ..obs.spans import Span
 from ..obs.telemetry import Telemetry
@@ -36,7 +39,7 @@ VOLATILE_KEYS = frozenset(
     {"wall_time_s", "wall_time", "events_per_sec", "wall_per_sim_sec"}
 )
 
-_ARTIFACT_CORE = ("schema", "metrics", "spans", "engine")
+_ARTIFACT_CORE = ("schema", "metrics", "spans", "journal", "engine")
 
 
 def strip_volatile(obj: Any, keys: Iterable[str] = VOLATILE_KEYS) -> Any:
@@ -82,6 +85,19 @@ def absorb_artifact(telemetry: Telemetry, artifact: Dict[str, Any]) -> Telemetry
         span.end = d.get("end")
         telemetry.spans.spans.append(span)
         telemetry.spans._by_id[span.span_id] = span
+
+    event_offset = len(telemetry.journal.events)
+    for d in artifact.get("journal", ()):
+        parent = d.get("parent")
+        telemetry.journal.events.append(
+            JournalEvent(
+                int(d["id"]) + event_offset,
+                d["name"],
+                d["t"],
+                parent + event_offset if parent is not None else None,
+                dict(d.get("attrs", {})),
+            )
+        )
 
     engine = artifact.get("engine")
     if engine:

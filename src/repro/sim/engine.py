@@ -78,6 +78,10 @@ class Simulator:
         # run() dispatches to an instrumented copy of the loop when a
         # profiler is attached, so the normal loop pays nothing.
         self.profiler: Optional[Any] = None
+        # Flight recorder (repro.obs.Telemetry.bind sets this): run()
+        # brackets each invocation with sim_run_start/sim_run_end
+        # journal events.  None costs a single attribute test per run.
+        self.journal: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -132,8 +136,20 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
+        journal = self.journal
+        if journal is not None:
+            before = self.events_processed
+            journal.record("sim_run_start", pending=len(self._heap))
         if self.profiler is not None:
-            return self._run_profiled(until)
+            self._run_profiled(until)
+        else:
+            self._run_plain(until)
+        if journal is not None:
+            journal.record(
+                "sim_run_end", events=self.events_processed - before
+            )
+
+    def _run_plain(self, until: Optional[float] = None) -> None:
         self._running = True
         self._stopped = False
         heap = self._heap

@@ -255,6 +255,23 @@ class TestExport:
         assert 'repro_lat_bucket{le="+Inf"} 2' in text
         assert "repro_lat_count 2" in text
 
+    def test_prometheus_histogram_buckets_are_cumulative_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 5.0))
+        for v in (0.05, 0.5, 0.5, 3.0, 100.0, 200.0):  # two overflows
+            h.observe(v)
+        text = registry_to_prometheus(reg)
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith("repro_lat_bucket"):
+                le = line.split('le="')[1].split('"')[0]
+                buckets.append((le, int(line.rsplit(" ", 1)[1])))
+        assert buckets == [("0.1", 1), ("1", 3), ("5", 4), ("+Inf", 6)]
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative => nondecreasing
+        # +Inf equals _count equals total observations incl. overflow.
+        assert "repro_lat_count 6" in text
+
     def test_prometheus_sanitizes_names(self):
         reg = MetricsRegistry()
         reg.counter("honeypot-backprop_captures").inc(1)

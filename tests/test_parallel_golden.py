@@ -105,3 +105,52 @@ class TestSerialEqualsParallel:
         for name in GOLDEN_POINTS:
             pooled = report.value(name)["result"]
             assert canonical(pooled) == canonical(serial_artifacts[name])
+
+
+class TestInstrumentedSerialEqualsParallel:
+    """Telemetry determinism: the merged spans and causal journal of an
+    instrumented pool run are byte-identical to a serial run's — worker
+    span/journal ids are offset past the parent's in task order."""
+
+    @pytest.fixture(scope="class")
+    def serial_telemetry(self):
+        from repro.experiments.runner import run_many
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        run_many(dict(GOLDEN_POINTS), telemetry=telemetry)
+        return telemetry
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_merged_journal_and_spans_match_serial(
+        self, serial_telemetry, jobs, tmp_path
+    ):
+        from repro.experiments.runner import run_many
+        from repro.obs import Telemetry
+        from repro.obs.journal import diff_journals
+
+        pooled = Telemetry()
+        run_many(
+            dict(GOLDEN_POINTS),
+            pool_config=PoolConfig(jobs=jobs, inline=False),
+            telemetry=pooled,
+        )
+        assert diff_journals(serial_telemetry.journal, pooled.journal) is None
+        serial_path = serial_telemetry.journal.write_jsonl(
+            tmp_path / "serial.jsonl"
+        )
+        pooled_path = pooled.journal.write_jsonl(tmp_path / f"pool{jobs}.jsonl")
+        with open(serial_path, "rb") as a, open(pooled_path, "rb") as b:
+            assert a.read() == b.read()
+        assert canonical(pooled.spans.to_dicts()) == canonical(
+            serial_telemetry.spans.to_dicts()
+        )
+        assert canonical(pooled.registry.as_dict()) == canonical(
+            serial_telemetry.registry.as_dict()
+        )
+
+    def test_journal_covers_every_task(self, serial_telemetry):
+        starts = serial_telemetry.journal.find("pool_task_start")
+        finishes = serial_telemetry.journal.find("pool_task_finish")
+        assert [e.attrs["task"] for e in starts] == list(GOLDEN_POINTS)
+        assert [e.attrs["task"] for e in finishes] == list(GOLDEN_POINTS)
