@@ -102,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
             "workers (default: $REPRO_JOBS, else serial); results are "
             "identical to a serial run",
         )
+        p.add_argument(
+            "--scheduler",
+            choices=("heap", "calendar", "auto"),
+            default=None,
+            help="event-scheduler policy (default: $REPRO_SCHEDULER, "
+            "else auto); results are identical under all policies",
+        )
 
     w = sub.add_parser(
         "sweep",
@@ -140,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="pool workers (default: $REPRO_JOBS, else 1)",
+    )
+    w.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar", "auto"),
+        default=None,
+        help="event-scheduler policy of every task's simulator "
+        "(default: $REPRO_SCHEDULER, else auto)",
     )
     w.add_argument(
         "--timeout",
@@ -217,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("honeypot", "pushback", "none"),
         default="honeypot",
         help="defense configuration to instrument",
+    )
+    s.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar", "auto"),
+        default=None,
+        help="event-scheduler policy (default: $REPRO_SCHEDULER, "
+        "else auto); the journal is identical under all policies",
     )
     s.add_argument(
         "--metrics-out",
@@ -397,7 +418,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs import Telemetry
 
         telemetry = Telemetry()
-        params = replace(_scenario_base(args.scale), defense=args.defense)
+        params = replace(
+            _scenario_base(args.scale, args.scheduler), defense=args.defense
+        )
         result = run_tree_scenario(params, telemetry=telemetry)
         # Write the artifacts before printing: stdout may be a closed
         # pipe (`... | head`), and the artifacts must survive that.
@@ -426,6 +449,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.scale,
         telemetry=telemetry,
         jobs=getattr(args, "jobs", None),
+        scheduler=getattr(args, "scheduler", None),
     )
     path = (
         telemetry.write(args.metrics_out)
@@ -476,7 +500,9 @@ def _run_sweep_command(args) -> int:
     from .obs.export import write_json
     from .parallel import PoolConfig, SweepCheckpoint, resolve_jobs
 
-    base = replace(_scenario_base(args.scale), defense=args.defense)
+    base = replace(
+        _scenario_base(args.scale, args.scheduler), defense=args.defense
+    )
     values = _parse_sweep_values(base, args.field, args.values)
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     config = PoolConfig(

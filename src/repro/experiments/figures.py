@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -29,8 +29,10 @@ from .validation import ValidationParams, run_validation
 __all__ = ["FIGURES", "figure"]
 
 
-def _scenario_base(scale: str) -> TreeScenarioParams:
-    base = TreeScenarioParams(seed=1)
+def _scenario_base(
+    scale: str, scheduler: Optional[str] = None
+) -> TreeScenarioParams:
+    base = TreeScenarioParams(seed=1, scheduler=scheduler)
     if scale == "paper":
         return paper_scale(base)
     if scale == "quick":
@@ -40,7 +42,7 @@ def _scenario_base(scale: str) -> TreeScenarioParams:
     return base
 
 
-def fig5(scale: str = "default", telemetry=None, jobs=None) -> str:
+def fig5(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
     m, p, h, r, tau = 10.0, 0.4, 10, 10.0, 1.0
     lines = [
         "Fig. 5 — analytical capture time, progressive back-propagation",
@@ -55,7 +57,7 @@ def fig5(scale: str = "default", telemetry=None, jobs=None) -> str:
     return "\n".join(lines)
 
 
-def fig6(scale: str = "default", telemetry=None, jobs=None) -> str:
+def fig6(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
     runs = 3 if scale == "quick" else 8
     base = ValidationParams(hops=10, p=0.3, epoch_len=10.0, runs=runs, seed=7)
     lines = ["Fig. 6 — Eq. (3) validation (sim mean vs m/p bound)"]
@@ -74,7 +76,7 @@ def fig6(scale: str = "default", telemetry=None, jobs=None) -> str:
     return "\n".join(lines)
 
 
-def fig7(scale: str = "default", telemetry=None, jobs=None) -> str:
+def fig7(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
     n_leaves = 100 if scale == "quick" else 400
     topo = build_tree_topology(
         TreeParams(n_leaves=n_leaves), RngRegistry(0).stream("fig7.topology")
@@ -96,8 +98,8 @@ def fig7(scale: str = "default", telemetry=None, jobs=None) -> str:
     return "\n".join(lines)
 
 
-def fig8(scale: str = "default", telemetry=None, jobs=None) -> str:
-    base = _scenario_base(scale)
+def fig8(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+    base = _scenario_base(scale, scheduler)
     lines = [
         "Fig. 8 — legitimate throughput (%) over time, "
         f"attack in [{base.attack_start:.0f}, {base.attack_end:.0f}] s"
@@ -135,14 +137,14 @@ def fig8(scale: str = "default", telemetry=None, jobs=None) -> str:
     return "\n".join(lines)
 
 
-def fig9(scale: str = "default", telemetry=None, jobs=None) -> str:
+def fig9(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
     return "Fig. 9 — simulation parameters\n" + render_table(
         ["parameter", "values studied", "default"], PARAMETER_TABLE
     )
 
 
-def fig10(scale: str = "default", telemetry=None, jobs=None) -> str:
-    base = _scenario_base(scale)
+def fig10(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+    base = _scenario_base(scale, scheduler)
     placements = ("far", "even", "close")
     defenses = ("honeypot", "pushback", "none")
     results = run_many(
@@ -164,8 +166,8 @@ def fig10(scale: str = "default", telemetry=None, jobs=None) -> str:
     )
 
 
-def fig11(scale: str = "default", telemetry=None, jobs=None) -> str:
-    base = replace(_scenario_base(scale), attacker_rate=0.5e6)
+def fig11(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+    base = replace(_scenario_base(scale, scheduler), attacker_rate=0.5e6)
     counts = (5, 25) if scale == "quick" else (5, 10, 25, 50)
     defenses = ("honeypot", "pushback", "none")
     results = run_many(
@@ -198,7 +200,13 @@ FIGURES: Dict[str, Callable[[str], str]] = {
 }
 
 
-def figure(name: str, scale: str = "default", telemetry=None, jobs=None) -> str:
+def figure(
+    name: str,
+    scale: str = "default",
+    telemetry=None,
+    jobs=None,
+    scheduler=None,
+) -> str:
     """Regenerate one figure by name ('fig5' ... 'fig11').
 
     ``telemetry`` (a :class:`repro.obs.Telemetry` or None) instruments
@@ -206,6 +214,9 @@ def figure(name: str, scale: str = "default", telemetry=None, jobs=None) -> str:
     and ignore it.  ``jobs`` fans the figure's independent scenario
     runs out over a :mod:`repro.parallel` worker pool (default:
     ``$REPRO_JOBS`` or serial); results are identical either way.
+    ``scheduler`` selects the engine's event-scheduler policy ("heap",
+    "calendar", "auto"); the results are identical under all policies —
+    only wall-clock time changes.
     """
     try:
         fn = FIGURES[name]
@@ -213,4 +224,4 @@ def figure(name: str, scale: str = "default", telemetry=None, jobs=None) -> str:
         raise ValueError(
             f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
         ) from None
-    return fn(scale, telemetry=telemetry, jobs=jobs)
+    return fn(scale, telemetry=telemetry, jobs=jobs, scheduler=scheduler)

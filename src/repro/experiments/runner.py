@@ -57,6 +57,7 @@ def result_to_dict(result: TreeScenarioResult) -> Dict[str, Any]:
     return {
         "params": asdict(result.params),
         "seed": result.params.seed,
+        "scheduler": result.params.scheduler,
         "times": list(result.times),
         "legit_pct": list(result.legit_pct),
         "attack_pct": list(result.attack_pct),

@@ -28,6 +28,7 @@ from ..honeypots.roaming import RoamingServerPool
 from ..honeypots.schedule import RoamingSchedule
 from ..honeypots.subscription import SubscriptionService
 from ..pushback.protocol import PushbackConfig
+from ..sim.engine import Simulator
 from ..sim.monitor import ThroughputMonitor, mean_over_window
 from ..sim.network import Network
 from ..sim.rng import RngRegistry
@@ -85,6 +86,10 @@ class TreeScenarioParams:
     trigger_threshold: int = 2
     cancel_lead: float = 0.3
     seed: int = 0
+    # Event-scheduler policy: "heap", "calendar", "auto", or None for
+    # the engine default (REPRO_SCHEDULER env var, else auto).  The
+    # journal is byte-identical across policies (see repro.sim.engine).
+    scheduler: Optional[str] = None
 
     @property
     def n_clients(self) -> int:
@@ -201,7 +206,7 @@ def run_tree_scenario(
         bottleneck_bw=params.bottleneck_bw,
     )
     topo = build_tree_topology(tree_params, rngs.stream("topology"))
-    net = Network.from_graph(topo.graph)
+    net = Network.from_graph(topo.graph, sim=Simulator(scheduler=params.scheduler))
     net.build_routes(targets=topo.server_ids)
 
     attacker_ids, client_ids = assign_roles(

@@ -10,7 +10,8 @@ untouched — a simulator without a profiler pays nothing).
 Tracked per simulator, accumulated across ``run()`` calls:
 
 * events processed and wall-clock seconds -> events/sec;
-* event-heap high-water mark (pending events, incl. lazily cancelled);
+* event-heap high-water mark (live pending events; lazily cancelled
+  entries still occupying the scheduler are excluded);
 * simulated seconds covered -> wall-time per simulated second.
 """
 
@@ -37,8 +38,9 @@ class EngineProfiler:
     def attach(self, sim: Any) -> "EngineProfiler":
         """Route ``sim.run()`` through the instrumented loop."""
         sim.profiler = self
-        if sim.pending() > self.heap_hwm:
-            self.heap_hwm = sim.pending()
+        live = sim.pending(live=True)
+        if live > self.heap_hwm:
+            self.heap_hwm = live
         return self
 
     def record_run(self, events: int, wall: float, sim_delta: float) -> None:

@@ -50,6 +50,8 @@ class Telemetry:
         self.spans.clock = lambda: sim.now
         self.journal.clock = lambda: sim.now
         sim.journal = self.journal
+        # Engine-side counters (e.g. timer_jitter_clamped) land here.
+        sim.metrics = self.registry
         self.profiler.attach(sim)
         return self
 

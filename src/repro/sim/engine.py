@@ -1,9 +1,25 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event scheduler in the style of ns-2's event loop: a
-binary heap of ``(time, sequence, Event)`` entries.  The sequence number
-breaks ties FIFO so that events scheduled for the same instant fire in
-the order they were scheduled, which keeps simulations deterministic.
+A minimal, fast event scheduler in the style of ns-2's event loop.
+Pending events are ``(time, sequence, Event)`` entries in a pluggable
+scheduler structure (see :mod:`repro.sim.scheduler`): the classic
+binary heap, or a calendar queue for very large event populations.
+The sequence number breaks ties FIFO so that events scheduled for the
+same instant fire in the order they were scheduled, which keeps
+simulations deterministic — and because entries order totally, every
+scheduler dispatches the *identical* event sequence, a property the
+causal journal verifies end-to-end (``repro replay --check``).
+
+Scheduler selection (``Simulator(scheduler=...)``):
+
+* ``"heap"`` / ``"calendar"`` — force one structure;
+* ``"auto"`` (default) — start on the heap, migrate once to the
+  calendar queue if the live pending population ever exceeds
+  :data:`~repro.sim.scheduler.AUTO_CALENDAR_THRESHOLD`;
+* a scheduler instance — use it as-is.
+
+The ``REPRO_SCHEDULER`` environment variable supplies the default
+policy when the constructor argument is omitted.
 
 The engine is deliberately callback-based (no generator processes): the
 paper's workloads are packet-level CBR flows and timer-driven control
@@ -11,39 +27,75 @@ protocols, for which callbacks are both faster and simpler than a
 process abstraction.  Helper classes (:class:`Timer`,
 :func:`Simulator.every`) cover the recurring-timer patterns the defense
 protocols need.
+
+Allocation relief: dispatched :class:`Event` objects are recycled
+through a per-simulator freelist (``REPRO_EVENT_FREELIST=0`` disables).
+The contract is that an Event handle is only meaningful until its
+callback has run — cancelling after that is a no-op on the handle, but
+holders must drop fired-event references promptly (every in-tree holder
+reassigns or clears on fire) because the object may be reissued by a
+later ``schedule()``.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Optional
+import os
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from .scheduler import (
+    AUTO_CALENDAR_THRESHOLD,
+    CalendarQueueScheduler,
+    HeapScheduler,
+    Scheduler,
+)
 
 __all__ = ["Event", "Simulator", "Timer", "SimulationError"]
+
+# Cap on recycled Event objects kept per simulator; bounds memory after
+# a scheduling burst while still absorbing the steady-state churn.
+_FREELIST_MAX = 8192
 
 
 class SimulationError(RuntimeError):
     """Raised for scheduling errors (e.g. scheduling in the past)."""
 
 
+def _retired() -> None:  # pragma: no cover - placeholder callback
+    """Callback parked on freelist events so a stale fire is harmless."""
+
+
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
-    Cancellation is lazy: a cancelled event stays in the heap but is
-    skipped when popped.  This is O(1) and is the standard trick for
-    heap-based schedulers.
+    Cancellation is lazy: a cancelled event stays in the scheduler but
+    is skipped when popped.  This is O(1) and is the standard trick for
+    heap-based schedulers; the engine keeps a separate live counter so
+    :meth:`Simulator.pending` can still report the true pending count.
+
+    A handle is valid until its callback runs; after that ``cancel()``
+    is a no-op and the object may be recycled for a later ``schedule()``
+    call, so holders must not retain fired-event references.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_queued", "_sim")
 
     def __init__(self, time: float, fn: Callable[..., Any], args: tuple) -> None:
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queued = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or not self._queued:
+            self.cancelled = True
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -67,13 +119,18 @@ class Simulator:
     1.5
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        scheduler: Union[str, Scheduler, None] = None,
+        packet_pool: Union[bool, Any, None] = None,
+    ) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        # Live (non-cancelled) pending events; see pending(live=True).
+        self._live: int = 0
         # Self-profiling (repro.obs.EngineProfiler.attach sets this).
         # run() dispatches to an instrumented copy of the loop when a
         # profiler is attached, so the normal loop pays nothing.
@@ -82,10 +139,66 @@ class Simulator:
         # brackets each invocation with sim_run_start/sim_run_end
         # journal events.  None costs a single attribute test per run.
         self.journal: Optional[Any] = None
+        # Metrics registry (repro.obs.Telemetry.bind sets this); used
+        # for low-rate operational counters such as timer_jitter_clamped.
+        self.metrics: Optional[Any] = None
+        self.timer_jitter_clamps: int = 0
+
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER") or "auto"
+        if isinstance(scheduler, str):
+            policy = scheduler.strip().lower()
+            if policy == "calendar":
+                self._sched: Scheduler = CalendarQueueScheduler()
+            elif policy in ("auto", "heap"):
+                self._sched = HeapScheduler()
+            else:
+                raise SimulationError(
+                    f"unknown scheduler policy {scheduler!r} "
+                    "(expected 'auto', 'heap' or 'calendar')"
+                )
+            self._auto = policy == "auto"
+        else:
+            self._sched = scheduler
+            policy = getattr(scheduler, "name", "custom")
+            self._auto = False
+        self.scheduler_policy: str = policy
+
+        # Event freelist (allocation relief on the hot path).
+        self._free: List[Event] = []
+        self._free_max = (
+            0
+            if os.environ.get("REPRO_EVENT_FREELIST", "1") in ("0", "false", "no")
+            else _FREELIST_MAX
+        )
+
+        # Optional packet recycling pool (repro.sim.packet.PacketPool).
+        # Off by default: consumers that retain packet references past
+        # delivery must copy (borrow-only contract, see packet.py).
+        if packet_pool is None:
+            packet_pool = os.environ.get("REPRO_PACKET_POOL", "") in (
+                "1",
+                "true",
+                "yes",
+            )
+        if isinstance(packet_pool, bool):
+            if packet_pool:
+                from .packet import PacketPool
+
+                self.packet_pool: Optional[Any] = PacketPool()
+            else:
+                self.packet_pool = None
+        else:
+            self.packet_pool = packet_pool
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    @property
+    def scheduler_name(self) -> str:
+        """Name of the scheduler structure currently in use."""
+        return getattr(self._sched, "name", "custom")
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
@@ -98,10 +211,69 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        ev = Event(time, fn, args)
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, fn, args)
+        ev._queued = True
+        ev._sim = self
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._sched.push((time, self._seq, ev))
+        self._live += 1
+        if self._auto and self._live > AUTO_CALENDAR_THRESHOLD:
+            self._migrate_to_calendar()
         return ev
+
+    def schedule_many(
+        self, times: Sequence[float], fn: Callable[..., Any], *args: Any
+    ) -> List[Event]:
+        """Bulk-schedule ``fn(*args)`` at each absolute time in ``times``.
+
+        Equivalent to ``[schedule_at(t, fn, *args) for t in times]`` —
+        same sequence numbers, same dispatch order — with the validation
+        and attribute traffic amortized over the batch (used by the
+        batched CBR fast path).
+        """
+        now = self.now
+        sched = self._sched
+        free = self._free
+        seq = self._seq
+        out: List[Event] = []
+        try:
+            for time in times:
+                if time < now:
+                    raise SimulationError(
+                        f"cannot schedule at t={time} before current time t={now}"
+                    )
+                if free:
+                    ev = free.pop()
+                    ev.time = time
+                    ev.fn = fn
+                    ev.args = args
+                    ev.cancelled = False
+                else:
+                    ev = Event(time, fn, args)
+                ev._queued = True
+                ev._sim = self
+                seq += 1
+                sched.push((time, seq, ev))
+                out.append(ev)
+        finally:
+            self._seq = seq
+            self._live += len(out)
+        if self._auto and self._live > AUTO_CALENDAR_THRESHOLD:
+            self._migrate_to_calendar()
+        return out
+
+    def _migrate_to_calendar(self) -> None:
+        """One-shot auto migration heap -> calendar queue."""
+        self._auto = False
+        self._sched = CalendarQueueScheduler(self._sched.drain())
 
     def every(
         self,
@@ -131,7 +303,7 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> None:
         """Process events in time order.
 
-        Runs until the heap is empty, or until the clock would pass
+        Runs until the scheduler is empty, or until the clock would pass
         ``until`` (the clock is then advanced to exactly ``until``).
         """
         if self._running:
@@ -139,7 +311,7 @@ class Simulator:
         journal = self.journal
         if journal is not None:
             before = self.events_processed
-            journal.record("sim_run_start", pending=len(self._heap))
+            journal.record("sim_run_start", pending=self._live)
         if self.profiler is not None:
             self._run_profiled(until)
         else:
@@ -152,28 +324,53 @@ class Simulator:
     def _run_plain(self, until: Optional[float] = None) -> None:
         self._running = True
         self._stopped = False
-        heap = self._heap
+        free = self._free
+        free_max = self._free_max
+        # Sentinel instead of a per-event None test; time > inf is never
+        # true, so the untimed loop pays one float compare.
+        limit = float("inf") if until is None else until
+        processed = 0
         try:
-            while heap:
-                time, _, ev = heap[0]
-                if until is not None and time > until:
+            while True:
+                sched = self._sched
+                entry = sched.pop()
+                if entry is None:
                     break
-                heapq.heappop(heap)
+                time = entry[0]
+                if time > limit:
+                    sched.push(entry)
+                    break
+                ev = entry[2]
+                ev._queued = False
                 if ev.cancelled:
+                    if len(free) < free_max:
+                        ev.fn = _retired
+                        ev.args = ()
+                        free.append(ev)
                     continue
+                self._live -= 1
                 self.now = time
                 ev.fn(*ev.args)
-                self.events_processed += 1
+                processed += 1
+                # Retire only after the callback returns: a callback may
+                # legitimately cancel the very event that is firing (a
+                # timer cancelling itself), which must see _queued=False
+                # on this object, not on a recycled successor.
+                if len(free) < free_max:
+                    ev.fn = _retired
+                    ev.args = ()
+                    free.append(ev)
                 if self._stopped:
                     break
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:
             self._running = False
+            self.events_processed += processed
 
     def _run_profiled(self, until: Optional[float] = None) -> None:
         """The same event loop as :meth:`run`, instrumented for the
-        attached profiler: wall-clock timing and the event-heap
+        attached profiler: wall-clock timing and the live pending-event
         high-water mark.  Kept as a separate copy so the unprofiled
         loop carries zero instrumentation cost."""
         # reprolint: ignore[RPL002] -- self-profiling measures real wall
@@ -183,24 +380,41 @@ class Simulator:
         prof = self.profiler
         self._running = True
         self._stopped = False
-        heap = self._heap
+        free = self._free
+        free_max = self._free_max
         processed = 0
-        hwm = len(heap)
+        hwm = self._live
         sim_start = self.now
+        limit = float("inf") if until is None else until
         wall_start = perf_counter()  # reprolint: ignore[RPL002] -- profiler
         try:
-            while heap:
-                if len(heap) > hwm:
-                    hwm = len(heap)
-                time, _, ev = heap[0]
-                if until is not None and time > until:
+            while True:
+                if self._live > hwm:
+                    hwm = self._live
+                sched = self._sched
+                entry = sched.pop()
+                if entry is None:
                     break
-                heapq.heappop(heap)
+                time = entry[0]
+                if time > limit:
+                    sched.push(entry)
+                    break
+                ev = entry[2]
+                ev._queued = False
                 if ev.cancelled:
+                    if len(free) < free_max:
+                        ev.fn = _retired
+                        ev.args = ()
+                        free.append(ev)
                     continue
+                self._live -= 1
                 self.now = time
                 ev.fn(*ev.args)
                 processed += 1
+                if len(free) < free_max:
+                    ev.fn = _retired
+                    ev.args = ()
+                    free.append(ev)
                 if self._stopped:
                     break
             if until is not None and not self._stopped and self.now < until:
@@ -219,12 +433,22 @@ class Simulator:
         """Stop :meth:`run` after the current event returns."""
         self._stopped = True
 
-    def pending(self) -> int:
-        """Number of events in the heap (including lazily cancelled ones)."""
-        return len(self._heap)
+    def pending(self, live: bool = False) -> int:
+        """Number of pending events.
+
+        With ``live=False`` (default) this counts scheduler entries,
+        including lazily-cancelled ones still awaiting their skip-pop;
+        ``live=True`` counts only events that will actually fire.
+        """
+        if live:
+            return self._live
+        return len(self._sched)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self.now:.6f}, pending={len(self._heap)})"
+        return (
+            f"Simulator(now={self.now:.6f}, pending={len(self._sched)}, "
+            f"live={self._live}, scheduler={self.scheduler_name})"
+        )
 
 
 class Timer:
@@ -249,12 +473,30 @@ class Timer:
         self.cancelled = False
 
     def _arm(self, at: float) -> None:
+        sim = self.sim
+        # The nominal firing time never lies in the past.
+        floor = at if at > sim.now else sim.now
         if self.jitter_fn is not None:
             at = at + self.jitter_fn()
-        at = max(at, self.sim.now)
-        self._event = self.sim.schedule_at(at, self._fire)
+            if at < floor:
+                # A too-negative jitter draw is clamped to the *nominal*
+                # time, not to `now`: clamping to `now` silently
+                # coalesced firings onto the current instant and hid the
+                # de-sync misconfiguration.  The clamp is counted so it
+                # stays visible.
+                at = floor
+                sim.timer_jitter_clamps += 1
+                metrics = sim.metrics
+                if metrics is not None:
+                    metrics.counter("timer_jitter_clamped").inc()
+        else:
+            at = floor
+        self._event = sim.schedule_at(at, self._fire)
 
     def _fire(self) -> None:
+        # Drop the fired-event handle immediately: the engine may
+        # recycle the object, so a later cancel() must not reach it.
+        self._event = None
         if self.cancelled:
             return
         self.fn(*self.args)
@@ -266,3 +508,4 @@ class Timer:
         self.cancelled = True
         if self._event is not None:
             self._event.cancel()
+            self._event = None

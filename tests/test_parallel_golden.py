@@ -48,15 +48,19 @@ GOLDEN_POINTS = {
 }
 
 # SHA-256 over canonical JSON (sort_keys) of result_to_dict(...).
+# Last regenerated for the fast-path PR: the fused channel transmit
+# collapses the tx_done->deliver event pair, so events_processed drops
+# ~45% (every simulation result — capture times, throughput — is
+# unchanged), and the artifact gained scheduler fields.
 GOLDEN_DIGESTS = {
     "fig8/honeypot-even": (
-        "6d925fa978e636870968210a4cf076f8d178741bd48c51029440910e5a054926"
+        "8c7dff533250bb36490f2cefcb2cf211fba1363fc4a04f78af608de107ecb3da"
     ),
     "fig10/pushback-close": (
-        "551829b1fe1b4df7b82bebb220ec90be05cbef24b962c6dbd6d23183114252b9"
+        "1abbd38b317d586676be902b47268fd896a5c36a5c8032503a3a98e09ad1f2ab"
     ),
     "fig11/none-halfrate": (
-        "a8333bec63685338936479a55c94fa2de6981d05a0f6bc285c534806f6b084ea"
+        "b2f80d5650a935821bf51eba8d9f1f575c274bd64f0b44e6ec317ecf11da7569"
     ),
 }
 
