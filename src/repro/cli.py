@@ -14,6 +14,10 @@ Usage::
     python -m repro analyze --scheme progressive --m 10 --p 0.4 --h 10 \
         --r 10 --tau 1 --t-on 3 --t-off 10
     python -m repro stats --scale quick --journal-out run.jsonl
+    python -m repro stats --scale default --stream-out run.stream.jsonl &
+    python -m repro watch run.stream.jsonl
+    python -m repro fig11 --scale default --jobs 4 --stream-dir live/
+    python -m repro watch live/ --once
     python -m repro replay run.jsonl
     python -m repro replay --check serial.jsonl pool.jsonl
     python -m repro report run.jsonl --html report.html
@@ -27,6 +31,16 @@ self-profile — as JSON.  ``--journal-out FILE`` writes just the causal
 event journal in its canonical JSONL form (``repro.journal/1``).
 ``stats`` runs the standard quick scenario under full observability
 and prints the human-readable telemetry dump.
+
+``--stream-out FILE`` (on ``stats``) and ``--stream-dir DIR`` (on the
+figure and ``sweep`` commands) arm the in-run telemetry streamer: the
+simulation appends live ``repro.stream/1`` snapshots as it executes
+and mirrors the latest state into an OpenMetrics textfile
+(``FILE.prom``).  ``watch`` tails a stream file — or a pool artifact
+directory, merging every per-task stream with the supervisor's worker
+liveness — as a refreshing terminal view (``--once`` prints a single
+frame).  Streaming never perturbs results: the journal is
+byte-identical with streaming on or off.
 
 ``replay`` reconstructs the traceback tree from a journal alone
 (``--check A B`` structurally diffs two journals and exits nonzero
@@ -109,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="event-scheduler policy (default: $REPRO_SCHEDULER, "
             "else auto); results are identical under all policies",
         )
+        _add_stream_dir_args(p)
 
     w = sub.add_parser(
         "sweep",
@@ -197,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the merged causal event journal as JSONL",
     )
+    _add_stream_dir_args(w)
 
     lint_p = sub.add_parser(
         "lint",
@@ -250,6 +266,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="also write the causal event journal as JSONL",
+    )
+    s.add_argument(
+        "--stream-out",
+        metavar="FILE",
+        default=None,
+        help="stream live repro.stream/1 snapshots (plus an OpenMetrics "
+        "textfile FILE.prom) to FILE while the run executes; follow "
+        "with `repro watch FILE`",
+    )
+    s.add_argument(
+        "--stream-interval",
+        type=float,
+        default=None,
+        metavar="SIM_SECONDS",
+        help="snapshot interval in simulated seconds (default: "
+        "$REPRO_STREAM, else 5); a 2 s wall-clock cap bounds the gap "
+        "when sim time crawls",
+    )
+
+    wt = sub.add_parser(
+        "watch",
+        help="live terminal view of a telemetry stream file or a pool "
+        "artifact directory",
+    )
+    wt.add_argument(
+        "path",
+        metavar="PATH",
+        help="a .stream.jsonl file, or a directory of per-task streams "
+        "(with the supervisor's pool.status.json)",
+    )
+    wt.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot frame and exit",
+    )
+    wt.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="redraw interval in follow mode (default: 1.0)",
+    )
+    wt.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N redraws (default: follow until the stream "
+        "ends); useful for smoke tests",
     )
 
     rp = sub.add_parser(
@@ -410,6 +475,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_report_command(args)
     if args.command == "regress":
         return _run_regress_command(args)
+    if args.command == "watch":
+        from .obs.watch import watch_follow, watch_once
+
+        if args.once:
+            return watch_once(args.path)
+        return watch_follow(
+            args.path, refresh=args.refresh, iterations=args.frames
+        )
     if args.command == "stats":
         from dataclasses import replace
 
@@ -421,7 +494,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         params = replace(
             _scenario_base(args.scale, args.scheduler), defense=args.defense
         )
-        result = run_tree_scenario(params, telemetry=telemetry)
+        stream = None
+        if args.stream_out:
+            from .obs.stream import StreamConfig, resolve_stream_interval
+
+            stream = StreamConfig(
+                path=args.stream_out,
+                interval=resolve_stream_interval(args.stream_interval),
+            )
+        result = run_tree_scenario(params, telemetry=telemetry, stream=stream)
         # Write the artifacts before printing: stdout may be a closed
         # pipe (`... | head`), and the artifacts must survive that.
         path = telemetry.write(args.metrics_out) if args.metrics_out else None
@@ -436,6 +517,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"telemetry artifact written to {path}")
             if journal_path:
                 print(f"journal written to {journal_path}")
+            if stream is not None:
+                print(f"stream written to {stream.path}")
         except BrokenPipeError:
             pass
         return 0
@@ -450,6 +533,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry=telemetry,
         jobs=getattr(args, "jobs", None),
         scheduler=getattr(args, "scheduler", None),
+        stream=_stream_spec(args),
     )
     path = (
         telemetry.write(args.metrics_out)
@@ -473,6 +557,40 @@ def _write_journal(telemetry, path: Optional[str]) -> Optional[str]:
     if telemetry is None or not path:
         return None
     return telemetry.journal.write_jsonl(path)
+
+
+def _add_stream_dir_args(p: argparse.ArgumentParser) -> None:
+    """``--stream-dir``/``--stream-interval`` for multi-run commands."""
+    p.add_argument(
+        "--stream-dir",
+        metavar="DIR",
+        default=None,
+        help="arm one live repro.stream/1 telemetry stream per scenario "
+        "run under DIR (watch them with `repro watch DIR`); pooled runs "
+        "also maintain a live pool.status.json there",
+    )
+    p.add_argument(
+        "--stream-interval",
+        type=float,
+        default=None,
+        metavar="SIM_SECONDS",
+        help="snapshot interval in simulated seconds (default: "
+        "$REPRO_STREAM, else 5); a 2 s wall-clock cap bounds the gap "
+        "when sim time crawls",
+    )
+
+
+def _stream_spec(args) -> Optional[dict]:
+    """The ``{"dir", "interval"}`` stream spec from ``--stream-dir``."""
+    stream_dir = getattr(args, "stream_dir", None)
+    if not stream_dir:
+        return None
+    from .obs.stream import resolve_stream_interval
+
+    return {
+        "dir": stream_dir,
+        "interval": resolve_stream_interval(getattr(args, "stream_interval", None)),
+    }
 
 
 def _parse_sweep_values(base, field: str, raw: str) -> list:
@@ -534,6 +652,7 @@ def _run_sweep_command(args) -> int:
         checkpoint=checkpoint,
         on_outcome=progress,
         telemetry=telemetry,
+        stream=_stream_spec(args),
     )
     path = write_json(args.out, run.artifact()) if args.out else None
     metrics_path = (

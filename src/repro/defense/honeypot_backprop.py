@@ -7,7 +7,7 @@ agents.  Captures (closed switch ports) are collected centrally.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..backprop.filters import CaptureRecord
 from ..backprop.intraas import (
@@ -50,6 +50,10 @@ class HoneypotBackpropDefense(Defense):
         self.router_agents: List[BackpropRouterAgent] = []
         self.server_agents: List[HoneypotServerAgent] = []
         self.captures: List[CaptureRecord] = []
+        # router addr -> hop depth from the server access router; set by
+        # the scenario (which owns the topology) so stream_sample() can
+        # report how deep the back-propagation frontier has reached.
+        self.frontier_depth_of: Optional[Callable[[int], Optional[int]]] = None
 
     def attach(self, network: Network) -> None:
         sim = network.sim
@@ -95,6 +99,34 @@ class HoneypotBackpropDefense(Defense):
         """
         attackers = set(attacker_addrs)
         return [c for c in self.captures if c.host_addr not in attackers]
+
+    def stream_sample(self) -> Dict[str, Any]:
+        """Live capture/frontier gauges for the telemetry streamer.
+
+        Read-only by contract: counts sessions, blocked ports, and
+        captures as they stand — the capture *progress curve* the paper
+        reports, observable while it is being drawn.
+        """
+        engaged = [a for a in self.router_agents if a.sessions]
+        sample: Dict[str, Any] = {
+            "captures": len(self.captures),
+            "routers_engaged": len(engaged),
+            "sessions_active": sum(len(a.sessions) for a in engaged),
+            "ports_blocked": sum(
+                len(a.port_filter.blocked_hosts) for a in self.router_agents
+            ),
+            "honeypot_hits": sum(a.honeypot_hits for a in self.server_agents),
+        }
+        depth_of = self.frontier_depth_of
+        if depth_of is not None and engaged:
+            depths = [
+                d
+                for d in (depth_of(a.router.addr) for a in engaged)
+                if d is not None
+            ]
+            if depths:
+                sample["frontier_depth"] = max(depths)
+        return sample
 
     def stats(self) -> Dict[str, Any]:
         return {

@@ -42,7 +42,9 @@ def _scenario_base(
     return base
 
 
-def fig5(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig5(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     m, p, h, r, tau = 10.0, 0.4, 10, 10.0, 1.0
     lines = [
         "Fig. 5 — analytical capture time, progressive back-propagation",
@@ -57,7 +59,9 @@ def fig5(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> s
     return "\n".join(lines)
 
 
-def fig6(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig6(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     runs = 3 if scale == "quick" else 8
     base = ValidationParams(hops=10, p=0.3, epoch_len=10.0, runs=runs, seed=7)
     lines = ["Fig. 6 — Eq. (3) validation (sim mean vs m/p bound)"]
@@ -76,7 +80,9 @@ def fig6(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> s
     return "\n".join(lines)
 
 
-def fig7(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig7(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     n_leaves = 100 if scale == "quick" else 400
     topo = build_tree_topology(
         TreeParams(n_leaves=n_leaves), RngRegistry(0).stream("fig7.topology")
@@ -98,7 +104,9 @@ def fig7(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> s
     return "\n".join(lines)
 
 
-def fig8(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig8(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     base = _scenario_base(scale, scheduler)
     lines = [
         "Fig. 8 — legitimate throughput (%) over time, "
@@ -114,6 +122,7 @@ def fig8(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> s
         jobs=jobs,
         telemetry=telemetry,
         instrument=lambda name: telemetry is not None and name == "honeypot",
+        stream=stream,
     )
     lines.append("t(s)  " + "  ".join(f"{n:>9s}" for n in results))
     times = results["none"].times
@@ -137,13 +146,17 @@ def fig8(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> s
     return "\n".join(lines)
 
 
-def fig9(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig9(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     return "Fig. 9 — simulation parameters\n" + render_table(
         ["parameter", "values studied", "default"], PARAMETER_TABLE
     )
 
 
-def fig10(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig10(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     base = _scenario_base(scale, scheduler)
     placements = ("far", "even", "close")
     defenses = ("honeypot", "pushback", "none")
@@ -156,6 +169,7 @@ def fig10(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> 
         jobs=jobs,
         telemetry=telemetry,
         instrument=lambda key: telemetry is not None and key[1] == "honeypot",
+        stream=stream,
     )
     rows = [
         [p] + [f"{results[(p, d)].legit_pct_during_attack:.1f}" for d in defenses]
@@ -166,7 +180,9 @@ def fig10(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> 
     )
 
 
-def fig11(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> str:
+def fig11(
+    scale: str = "default", telemetry=None, jobs=None, scheduler=None, stream=None
+) -> str:
     base = replace(_scenario_base(scale, scheduler), attacker_rate=0.5e6)
     counts = (5, 25) if scale == "quick" else (5, 10, 25, 50)
     defenses = ("honeypot", "pushback", "none")
@@ -179,6 +195,7 @@ def fig11(scale: str = "default", telemetry=None, jobs=None, scheduler=None) -> 
         jobs=jobs,
         telemetry=telemetry,
         instrument=lambda key: telemetry is not None and key[1] == "honeypot",
+        stream=stream,
     )
     rows = [
         [n] + [f"{results[(n, d)].legit_pct_during_attack:.1f}" for d in defenses]
@@ -206,6 +223,7 @@ def figure(
     telemetry=None,
     jobs=None,
     scheduler=None,
+    stream=None,
 ) -> str:
     """Regenerate one figure by name ('fig5' ... 'fig11').
 
@@ -216,7 +234,10 @@ def figure(
     ``$REPRO_JOBS`` or serial); results are identical either way.
     ``scheduler`` selects the engine's event-scheduler policy ("heap",
     "calendar", "auto"); the results are identical under all policies —
-    only wall-clock time changes.
+    only wall-clock time changes.  ``stream`` (a ``{"dir", "interval",
+    "wall_cap"}`` dict) arms one live telemetry stream per scenario run
+    under ``dir`` — watch them with ``repro watch DIR``; figures
+    without a simulation component accept and ignore it.
     """
     try:
         fn = FIGURES[name]
@@ -224,4 +245,6 @@ def figure(
         raise ValueError(
             f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
         ) from None
-    return fn(scale, telemetry=telemetry, jobs=jobs, scheduler=scheduler)
+    return fn(
+        scale, telemetry=telemetry, jobs=jobs, scheduler=scheduler, stream=stream
+    )

@@ -88,12 +88,36 @@ def result_from_dict(d: Dict[str, Any]) -> TreeScenarioResult:
     )
 
 
+def _stream_config_for(stream: Optional[Dict[str, Any]], task_id: str):
+    """Per-task :class:`~repro.obs.stream.StreamConfig` (or None).
+
+    ``stream`` is the plain-dict form that crosses the pool's pickle
+    boundary: ``{"dir": ..., "interval": ..., "wall_cap": ...}`` — each
+    task gets its own ``<task>.stream.jsonl`` under ``dir``, which is
+    also where the supervisor maintains ``pool.status.json``.
+    """
+    if not stream:
+        return None
+    from ..obs.stream import StreamConfig, stream_path_for
+
+    kwargs: Dict[str, Any] = {}
+    if stream.get("interval") is not None:
+        kwargs["interval"] = float(stream["interval"])
+    if "wall_cap" in stream:
+        kwargs["wall_cap"] = stream["wall_cap"]
+    return StreamConfig(
+        path=stream_path_for(stream["dir"], task_id), **kwargs
+    )
+
+
 def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Pool task function: one scenario run -> JSON-ready envelope.
 
     Module-level so worker processes can unpickle it by reference.
     ``payload`` is ``{"params": TreeScenarioParams, "telemetry": bool,
-    "task": str}``; when telemetry is requested the worker builds its
+    "task": str}`` plus an optional ``"stream"`` dict (see
+    :func:`_stream_config_for`) that arms a live per-task telemetry
+    stream; when telemetry is requested the worker builds its
     own :class:`~repro.obs.Telemetry` and ships the artifact dict back
     for the parent to merge (a live telemetry cannot cross the process
     boundary — its span clock closes over the worker's simulator).
@@ -112,7 +136,10 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         telemetry.journal.record(
             "pool_task_start", at=0.0, task=payload.get("task")
         )
-    result = run_tree_scenario(params, telemetry=telemetry)
+    stream = _stream_config_for(
+        payload.get("stream"), str(payload.get("task") or "run")
+    )
+    result = run_tree_scenario(params, telemetry=telemetry, stream=stream)
     if telemetry is not None:
         telemetry.journal.record("pool_task_finish", task=payload.get("task"))
     return {
@@ -125,6 +152,7 @@ def _scenario_tasks(
     named_params: Sequence[tuple],
     instrument: Callable[[Any], bool],
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]],
+    stream: Optional[Dict[str, Any]] = None,
 ) -> List[Task]:
     return [
         Task(
@@ -134,6 +162,7 @@ def _scenario_tasks(
                 "params": params,
                 "telemetry": bool(instrument(key)),
                 "task": str(key),
+                "stream": stream,
             },
         )
         for key, params in named_params
@@ -155,14 +184,18 @@ def run_many(
     pool_config: Optional[PoolConfig] = None,
     telemetry: Any = None,
     instrument: Optional[Callable[[Any], bool]] = None,
+    stream: Optional[Dict[str, Any]] = None,
 ) -> Dict[Any, TreeScenarioResult]:
     """Run several named scenarios, serially or on the pool.
 
     ``instrument(key)`` selects which runs feed ``telemetry`` (default:
     all, when a telemetry is given).  Worker telemetry artifacts are
     absorbed in ``named_params`` order, so the consolidated artifact is
-    identical to a serial instrumented run.  Raises if any run is
-    quarantined — figures need every cell.
+    identical to a serial instrumented run.  ``stream`` (a
+    ``{"dir", "interval", "wall_cap"}`` dict) arms one live telemetry
+    stream per run under ``dir`` — on the pool the supervisor also
+    maintains the merged ``pool.status.json`` view there.  Raises if
+    any run is quarantined — figures need every cell.
     """
     if instrument is None:
         instrument = lambda key: telemetry is not None
@@ -175,7 +208,11 @@ def run_many(
                 run_telemetry.journal.record(
                     "pool_task_start", at=0.0, task=str(key)
                 )
-            out_serial[key] = run_tree_scenario(params, telemetry=run_telemetry)
+            out_serial[key] = run_tree_scenario(
+                params,
+                telemetry=run_telemetry,
+                stream=_stream_config_for(stream, str(key)),
+            )
             if run_telemetry is not None:
                 run_telemetry.journal.record("pool_task_finish", task=str(key))
         return out_serial
@@ -183,8 +220,12 @@ def run_many(
         [(k, p) for k, p in named_params.items()],
         instrument if telemetry is not None else (lambda key: False),
         run_scenario_task,
+        stream=stream,
     )
-    report = run_tasks(tasks, pool_config or PoolConfig(jobs=jobs))
+    config = pool_config or PoolConfig(jobs=jobs)
+    if stream and config.status_dir is None:
+        config.status_dir = stream["dir"]
+    report = run_tasks(tasks, config)
     _raise_on_quarantine(report, "scenario batch")
     out: Dict[Any, TreeScenarioResult] = {}
     for key, task in zip(named_params, tasks):
@@ -242,13 +283,15 @@ def plan_sweep_tasks(
     seeds: Sequence[int],
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
     telemetry: bool = False,
+    stream: Optional[Dict[str, Any]] = None,
 ) -> List[Task]:
     """One task per (value, seed) pair, under stable ids.
 
     Ids are pure functions of the sweep coordinates — never of order or
     worker — so checkpoints match across runs and duplicate (value,
     seed) pairs are rejected by the pool.  ``telemetry=True`` makes
-    every worker build and ship back a telemetry artifact.
+    every worker build and ship back a telemetry artifact; ``stream``
+    arms one live per-task telemetry stream under its ``dir``.
     """
     if not hasattr(base, field_name):
         raise ValueError(f"unknown sweep field {field_name!r}")
@@ -260,6 +303,7 @@ def plan_sweep_tasks(
                 "params": replace(base, **{field_name: v}, seed=int(s)),
                 "telemetry": telemetry,
                 "task": f"{field_name}={v!r}/seed={int(s)}",
+                "stream": stream,
             },
         )
         for v in values
@@ -319,6 +363,7 @@ def run_sweep(
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
     on_outcome: Optional[Callable[[Any], None]] = None,
     telemetry: Any = None,
+    stream: Optional[Dict[str, Any]] = None,
 ) -> SweepRun:
     """Sweep one parameter over the pool; quarantine-tolerant.
 
@@ -327,7 +372,10 @@ def run_sweep(
     ``report.exit_code`` reflects partial failure.  With a
     ``telemetry``, every task is instrumented and worker artifacts are
     absorbed in *task* order (never completion order), so the merged
-    metrics/spans/journal match a serial instrumented sweep.
+    metrics/spans/journal match a serial instrumented sweep.  With a
+    ``stream`` dict every task writes a live ``<task>.stream.jsonl``
+    under ``stream["dir"]`` and the supervisor maintains the merged
+    ``pool.status.json`` there (watch with ``repro watch DIR``).
     """
     values = list(values)
     seeds = [int(s) for s in seeds]
@@ -338,8 +386,11 @@ def run_sweep(
         seeds,
         task_fn=task_fn,
         telemetry=telemetry is not None,
+        stream=stream,
     )
     config = pool_config or PoolConfig(jobs=resolve_jobs(jobs))
+    if stream and config.status_dir is None:
+        config.status_dir = stream["dir"]
     report = run_tasks(tasks, config, checkpoint=checkpoint, on_outcome=on_outcome)
     if telemetry is not None:
         for task in tasks:

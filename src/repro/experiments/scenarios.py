@@ -184,7 +184,7 @@ def _build_defense(
 
 
 def run_tree_scenario(
-    params: TreeScenarioParams, telemetry=None
+    params: TreeScenarioParams, telemetry=None, stream=None
 ) -> TreeScenarioResult:
     """Build, run, and measure one tree-scenario simulation.
 
@@ -193,6 +193,13 @@ def run_tree_scenario(
     monitor counts per-class deliveries, the engine self-profiles, and
     the network's counters are snapshotted into the registry after the
     run.  With None (the default) nothing is instrumented.
+
+    ``stream`` (a :class:`repro.obs.stream.StreamConfig` or None) adds
+    live in-run snapshots: a :class:`~repro.obs.stream.TelemetryStreamer`
+    is armed on the simulator and fed the defense's live gauges plus a
+    run-progress source.  Streaming only reads — the causal journal is
+    byte-identical with or without it.  A bare ``stream`` implies a
+    private :class:`~repro.obs.Telemetry` so rates can be computed.
     """
     if not 0 <= params.n_attackers <= params.n_leaves:
         raise ValueError("n_attackers out of range")
@@ -214,9 +221,47 @@ def run_tree_scenario(
     )
     if telemetry is not None:
         telemetry.bind(net.sim)
+    streamer = None
+    if stream is not None:
+        from ..obs import Telemetry
+        from ..obs.stream import TelemetryStreamer
+
+        hub = telemetry
+        if hub is None:
+            # Streaming needs a registry/profiler to report rates from;
+            # a private hub instruments the run without changing what
+            # the caller receives.
+            hub = Telemetry()
+            hub.bind(net.sim)
+        streamer = TelemetryStreamer(hub, stream).attach(net.sim)
+        hub.streamer = streamer
     defense, pool, service = _build_defense(params, net, topo, rngs)
     defense.use_telemetry(telemetry)
     defense.attach(net)
+    if streamer is not None:
+        if isinstance(defense, HoneypotBackpropDefense):
+            import networkx as nx
+
+            # Hop depth of every router from the server access router:
+            # the frontier gauge reports how deep back-propagation has
+            # pushed toward the attackers.
+            depths = nx.single_source_shortest_path_length(
+                topo.graph, topo.server_router_id
+            )
+            defense.frontier_depth_of = depths.get
+        sim = net.sim
+
+        def _progress() -> Dict[str, Any]:
+            return {
+                "defense": params.defense,
+                "duration": params.duration,
+                "pct_complete": round(100.0 * sim.now / params.duration, 2),
+                "attackers_total": params.n_attackers,
+                "seed": params.seed,
+            }
+
+        streamer.add_source("progress", _progress)
+        streamer.add_source("defense", defense.stream_sample)
 
     # --- Legitimate clients -------------------------------------------
     client_rng = rngs.stream("clients")
@@ -288,7 +333,12 @@ def run_tree_scenario(
     )
     monitor.start()
 
-    net.run(until=params.duration)
+    try:
+        net.run(until=params.duration)
+    except BaseException:
+        if streamer is not None:
+            streamer.close()
+        raise
 
     legit_pct = monitor.percent_of("legit", params.bottleneck_bw)
     attack_pct = monitor.percent_of("attack", params.bottleneck_bw)
@@ -311,6 +361,13 @@ def run_tree_scenario(
             "captures": len(capture_times),
             "false_captures": false_caps,
         }
+
+    if streamer is not None:
+        # Final snapshot *after* the post-run registry fold, so the last
+        # stream record (and the textfile) carries the complete totals.
+        if telemetry is None:
+            streamer.telemetry.snapshot_network(net)
+        streamer.close()
 
     return TreeScenarioResult(
         params=params,

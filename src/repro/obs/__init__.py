@@ -10,14 +10,24 @@ run can leave a machine-readable artifact.
 :class:`Telemetry` bundles the four and is what scenarios, defenses,
 and benchmarks thread through the stack; components treat a ``None``
 telemetry as "observability off" and skip all instrumentation.
+
+:mod:`repro.obs.stream` adds the *live* dimension: a
+:class:`TelemetryStreamer` the engine pulses during the run, appending
+``repro.stream/1`` snapshots and an OpenMetrics textfile that
+``repro watch`` (:mod:`repro.obs.watch`) renders as a refreshing
+terminal view.  Streaming is strictly read-only — journals are
+byte-identical with it on or off.
 """
 
 from .export import (
     load_json,
+    parse_exposition,
+    registry_to_openmetrics,
     registry_to_prometheus,
     series_to_csv,
     write_csv,
     write_json,
+    write_textfile_atomic,
 )
 from .journal import (
     JOURNAL_SCHEMA,
@@ -47,7 +57,26 @@ from .registry import (
     MetricsRegistry,
 )
 from .spans import Span, SpanRecorder
+from .stream import (
+    STREAM_SCHEMA,
+    StreamConfig,
+    StreamError,
+    TelemetryStreamer,
+    read_stream,
+    resolve_stream_interval,
+    stream_path_for,
+    tail_record,
+    validate_stream,
+)
 from .telemetry import Telemetry
+from .watch import (
+    POOL_STATUS_FILE,
+    POOL_STATUS_SCHEMA,
+    render_pool_view,
+    render_snapshot,
+    watch_follow,
+    watch_once,
+)
 
 __all__ = [
     "Counter",
@@ -60,23 +89,41 @@ __all__ = [
     "JournalError",
     "JournalEvent",
     "MetricsRegistry",
+    "POOL_STATUS_FILE",
+    "POOL_STATUS_SCHEMA",
     "REGRESS_SCHEMA",
     "RegressReport",
+    "STREAM_SCHEMA",
     "Span",
     "SpanRecorder",
+    "StreamConfig",
+    "StreamError",
     "Telemetry",
+    "TelemetryStreamer",
     "build_tree",
     "compare_to_baseline",
     "diff_journals",
     "load_baseline",
     "load_journal",
     "load_json",
+    "parse_exposition",
+    "read_stream",
+    "registry_to_openmetrics",
     "registry_to_prometheus",
     "render_html",
+    "render_pool_view",
+    "render_snapshot",
     "render_tree",
     "replay_summary",
+    "resolve_stream_interval",
     "series_to_csv",
+    "stream_path_for",
+    "tail_record",
+    "validate_stream",
+    "watch_follow",
+    "watch_once",
     "write_csv",
     "write_json",
+    "write_textfile_atomic",
     "write_trajectory_point",
 ]

@@ -23,6 +23,9 @@ __all__ = [
     "series_to_csv",
     "write_csv",
     "registry_to_prometheus",
+    "registry_to_openmetrics",
+    "parse_exposition",
+    "write_textfile_atomic",
 ]
 
 
@@ -39,8 +42,15 @@ def json_default(obj: Any) -> Any:
         return obj.tolist()
     if hasattr(obj, "as_dict"):
         return obj.as_dict()
-    if isinstance(obj, (set, frozenset, tuple)):
-        return sorted(obj) if isinstance(obj, (set, frozenset)) else list(obj)
+    if isinstance(obj, (set, frozenset)):
+        try:
+            return sorted(obj)
+        except TypeError:
+            # Mixed-type sets (e.g. {1, "a"}) have no natural order;
+            # repr order is deterministic and never raises.
+            return sorted(obj, key=repr)
+    if isinstance(obj, tuple):
+        return list(obj)
     return str(obj)
 
 
@@ -97,10 +107,32 @@ def _prom_name(name: str) -> str:
     return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline must be escaped inside the quotes."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_unescape(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for c in it:
+        if c == "\\":
+            nxt = next(it, "")
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+        else:
+            out.append(c)
+    return "".join(out)
+
+
 def _prom_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_prom_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -143,3 +175,129 @@ def registry_to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") ->
         lines.append(f"{name}_sum{_prom_labels(h['labels'])} {h['sum']}")
         lines.append(f"{name}_count{_prom_labels(h['labels'])} {total}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_openmetrics(
+    registry: MetricsRegistry,
+    prefix: str = "repro_",
+    extra_lines: Optional[Sequence[str]] = None,
+) -> str:
+    """OpenMetrics textfile body: the Prometheus exposition plus any
+    ``extra_lines`` (pre-formatted samples), terminated by ``# EOF``.
+
+    The ``# EOF`` marker is what distinguishes a complete OpenMetrics
+    textfile from a truncated one — scrapers reject files without it,
+    which is exactly the property an atomically-rewritten live textfile
+    needs.
+    """
+    parts: List[str] = []
+    if extra_lines:
+        parts.extend(extra_lines)
+    body = registry_to_prometheus(registry, prefix=prefix)
+    if body:
+        parts.append(body.rstrip("\n"))
+    parts.append("# EOF")
+    return "\n".join(parts) + "\n"
+
+
+def write_textfile_atomic(path: Union[str, os.PathLike], text: str) -> str:
+    """Write ``text`` to ``path`` via write-temp-then-rename.
+
+    A scraper (or ``repro watch``) reading concurrently sees either the
+    previous complete file or the new complete file, never a torn
+    intermediate — ``os.replace`` is atomic on POSIX and Windows.
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def parse_exposition(text: str) -> Dict[str, Any]:
+    """Parse Prometheus/OpenMetrics exposition text back into samples.
+
+    Returns ``{"types": {name: kind}, "samples": [{"name", "labels",
+    "value"}, ...], "eof": bool}``.  Label values are unescaped, so a
+    round trip through :func:`registry_to_prometheus` is exact.  Raises
+    :class:`ValueError` on malformed lines — this is the test-side
+    validator for the exposition the streamer and exporters emit.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Dict[str, Any]] = []
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            fields = line.split()
+            if len(fields) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            types[fields[2]] = fields[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP/comment lines
+        name, labels, rest = _split_sample(line, lineno)
+        value_field = rest.split()
+        if not value_field:
+            raise ValueError(f"line {lineno}: sample has no value: {line!r}")
+        try:
+            value = float(value_field[0])
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {value_field[0]!r}"
+            ) from None
+        samples.append({"name": name, "labels": labels, "value": value})
+    return {"types": types, "samples": samples, "eof": saw_eof}
+
+
+def _split_sample(line: str, lineno: int) -> tuple:
+    """``name{labels} value`` -> (name, labels dict, value text)."""
+    brace = line.find("{")
+    if brace < 0:
+        name, _, rest = line.partition(" ")
+        if not name or not rest:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        return name, {}, rest
+    name = line[:brace]
+    labels: Dict[str, str] = {}
+    i = brace + 1
+    while i < len(line) and line[i] != "}":
+        eq = line.find("=", i)
+        if eq < 0 or eq + 1 >= len(line) or line[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: malformed labels: {line!r}")
+        key = line[i:eq].lstrip(",").strip()
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(line):
+            c = line[j]
+            if c == "\\":
+                raw.append(line[j : j + 2])
+                j += 2
+                continue
+            if c == '"':
+                break
+            raw.append(c)
+            j += 1
+        else:
+            raise ValueError(f"line {lineno}: unterminated label value: {line!r}")
+        labels[key] = _prom_unescape("".join(raw))
+        i = j + 1
+    if i >= len(line) or line[i] != "}":
+        raise ValueError(f"line {lineno}: unterminated label set: {line!r}")
+    return name, labels, line[i + 1 :].strip()

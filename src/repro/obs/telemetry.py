@@ -41,6 +41,9 @@ class Telemetry:
         # Free-form run-level payload merged into the artifact (figure
         # series, scenario parameters, capture summaries, ...).
         self.extra: Dict[str, Any] = {}
+        # Live streamer, when one is armed on this run (set by the
+        # scenario); render() surfaces its obs self-cost meter.
+        self.streamer: Optional[Any] = None
         if sim is not None:
             self.bind(sim)
 
@@ -166,6 +169,31 @@ class Telemetry:
     def write(self, path: str) -> str:
         return write_json(path, self.artifact())
 
+    def render_engine_profile(self) -> str:
+        """The :class:`EngineProfiler` numbers as a human-readable block
+        (the piece ``repro stats`` prints; empty when nothing ran)."""
+        prof = self.profiler.as_dict()
+        if not prof["events_processed"]:
+            return ""
+        lines = [
+            "engine profile:",
+            f"  events processed   {prof['events_processed']}",
+            f"  events/sec         {prof['events_per_sec']:.0f}",
+            f"  wall per sim-sec   {prof['wall_per_sim_sec']:.4f} s",
+            f"  heap high-water    {prof['heap_hwm_events']} events",
+            f"  runs               {prof['runs']} "
+            f"({prof['wall_time_s']:.2f} s wall)",
+        ]
+        streamer = self.streamer
+        if streamer is not None:
+            cost = streamer.self_cost()
+            lines.append(
+                f"  obs self-cost      {cost['self_wall_s']:.4f} s "
+                f"({100.0 * cost['self_frac']:.2f}% of run wall, "
+                f"{int(cost['snapshots'])} snapshots)"
+            )
+        return "\n".join(lines)
+
     def render(self) -> str:
         """Human-readable dump: prometheus text + span timelines."""
         parts = [registry_to_prometheus(self.registry)]
@@ -176,11 +204,5 @@ class Telemetry:
                 f"journal: {len(self.journal.events)} events recorded "
                 "(write with --journal-out, inspect with `repro replay`)"
             )
-        prof = self.profiler.as_dict()
-        if prof["events_processed"]:
-            parts.append(
-                "engine: {events_processed} events, {events_per_sec:.0f} ev/s, "
-                "{wall_per_sim_sec:.4f} wall-s per sim-s, "
-                "heap hwm {heap_hwm_events}".format(**prof)
-            )
+        parts.append(self.render_engine_profile())
         return "\n".join(p for p in parts if p)

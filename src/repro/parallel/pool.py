@@ -27,6 +27,8 @@ by task id; merging layers iterate in task-list order.
 
 from __future__ import annotations
 
+import glob
+import json
 import multiprocessing as mp
 import os
 import time
@@ -56,6 +58,96 @@ JOBS_ENV = "REPRO_JOBS"
 
 # Supervisor poll granularity; bounds how late a timeout fires.
 _POLL_S = 0.05
+
+# Minimum seconds between pool.status.json rewrites (the supervisor
+# polls every _POLL_S; rewriting the status at that rate would be
+# wasted I/O nobody can read that fast).
+_STATUS_MIN_INTERVAL_S = 0.5
+
+
+class _PoolStatusWriter:
+    """Maintains the live ``pool.status.json`` of one pool run.
+
+    Schema ``repro.pool-status/1``: worker liveness states, task
+    progress counts, and the tail snapshot of every per-task telemetry
+    stream in the directory — the supervisor-merged pool-level view
+    that ``repro watch DIR`` renders.  Rewrites are atomic
+    (temp + rename) and throttled; write failures are swallowed so a
+    full disk can never take the sweep down.
+    """
+
+    def __init__(self, directory: str, jobs: int, total: int) -> None:
+        self.directory = directory
+        self.jobs = jobs
+        self.total = total
+        self.done = 0
+        self.quarantined = 0
+        self.resumed = 0
+        self._last = 0.0
+        os.makedirs(directory, exist_ok=True)
+
+    def note(self, outcome: TaskOutcome) -> None:
+        self.done += 1
+        if outcome.status == STATUS_QUARANTINED:
+            self.quarantined += 1
+
+    def _stream_tails(self) -> Dict[str, Any]:
+        from ..obs.stream import tail_record  # lazy: obs is optional here
+
+        tails: Dict[str, Any] = {}
+        pattern = os.path.join(self.directory, "*.stream.jsonl")
+        for path in sorted(glob.glob(pattern)):
+            rec = tail_record(path)
+            if rec is None:
+                continue
+            name = os.path.basename(path)[: -len(".stream.jsonl")]
+            engine = rec.get("engine", {})
+            sources = rec.get("sources", {})
+            tails[name] = {
+                "t": rec.get("t"),
+                "seq": rec.get("seq"),
+                "final": bool(rec.get("final")),
+                "events": engine.get("events"),
+                "events_per_sec": engine.get("events_per_sec"),
+                "captures": sources.get("defense", {}).get("captures"),
+            }
+        return tails
+
+    def write(
+        self,
+        workers: List[Dict[str, Any]],
+        done: bool = False,
+        force: bool = False,
+    ) -> None:
+        now = time.monotonic()
+        if not force and now - self._last < _STATUS_MIN_INTERVAL_S:
+            return
+        self._last = now
+        doc = {
+            "schema": "repro.pool-status/1",
+            "jobs": self.jobs,
+            "done": done,
+            "tasks": {
+                "total": self.total,
+                "done": self.done + self.resumed,
+                "quarantined": self.quarantined,
+                "resumed": self.resumed,
+            },
+            "workers": workers,
+            "streams": self._stream_tails(),
+        }
+        path = os.path.join(self.directory, "pool.status.json")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - disk full etc.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def resolve_jobs(jobs: Optional[int] = None, env: str = JOBS_ENV) -> int:
@@ -89,6 +181,11 @@ class PoolConfig:
     max_attempts: int = 2
     start_method: Optional[str] = None
     inline: Optional[bool] = None
+    # Directory for the live pool-level view: the supervisor rewrites
+    # ``pool.status.json`` there (worker liveness + per-task stream
+    # tails) so `repro watch DIR` can follow a running sweep.  None
+    # disables the writer entirely.
+    status_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -168,6 +265,11 @@ def run_tasks(
     """
     config = config or PoolConfig()
     report = PoolReport()
+    status = (
+        _PoolStatusWriter(config.status_dir, config.jobs, len(tasks))
+        if config.status_dir
+        else None
+    )
     # Outcomes are pre-seeded in task order so the report dict iterates
     # deterministically no matter in which order workers finish.
     seen: set = set()
@@ -186,10 +288,14 @@ def run_tasks(
                 on_outcome(outcome)
         else:
             pending.append((task, 0))
+    if status is not None:
+        status.resumed = len(report.resumed)
 
     def record(outcome: TaskOutcome) -> None:
         report.outcomes[outcome.task_id] = outcome
         report.executed.append(outcome.task_id)
+        if status is not None:
+            status.note(outcome)
         if checkpoint is not None and outcome.ok:
             checkpoint.record(outcome)
         if on_outcome is not None:
@@ -197,9 +303,11 @@ def run_tasks(
 
     if pending:
         if config.run_inline():
-            _run_inline(pending, config, record)
+            _run_inline(pending, config, record, status)
         else:
-            _run_pool(pending, config, record)
+            _run_pool(pending, config, record, status)
+    if status is not None:
+        status.write(workers=[], done=True, force=True)
     return report
 
 
@@ -207,12 +315,22 @@ def run_tasks(
 # Inline execution (jobs == 1 fast path; no subprocess machinery)
 # ----------------------------------------------------------------------
 def _run_inline(
-    pending: deque, config: PoolConfig, record: Callable[[TaskOutcome], None]
+    pending: deque,
+    config: PoolConfig,
+    record: Callable[[TaskOutcome], None],
+    status: Optional[_PoolStatusWriter] = None,
 ) -> None:
     while pending:
         task, attempts = pending.popleft()
         started = time.perf_counter()
         attempts += 1
+        if status is not None:
+            status.write(
+                workers=[
+                    {"slot": 0, "state": "inline", "task": task.task_id,
+                     "busy_s": 0.0}
+                ]
+            )
         try:
             value = task.fn(task.payload)
         except Exception as exc:
@@ -320,8 +438,23 @@ class _Worker:
 # ----------------------------------------------------------------------
 # Supervisor
 # ----------------------------------------------------------------------
+def _worker_states(workers: Sequence[Any], now: float) -> List[Dict[str, Any]]:
+    return [
+        {
+            "slot": i,
+            "state": "busy" if w.task is not None else "idle",
+            "task": w.task.task_id if w.task is not None else None,
+            "busy_s": round(now - w.started, 3) if w.task is not None else 0.0,
+        }
+        for i, w in enumerate(workers)
+    ]
+
+
 def _run_pool(
-    pending: deque, config: PoolConfig, record: Callable[[TaskOutcome], None]
+    pending: deque,
+    config: PoolConfig,
+    record: Callable[[TaskOutcome], None],
+    status: Optional[_PoolStatusWriter] = None,
 ) -> None:
     ctx = config.mp_context()
     n_workers = min(config.jobs, len(pending))
@@ -357,6 +490,8 @@ def _run_pool(
                         w.assign(task, attempts, config.timeout)
                     except (BrokenPipeError, OSError):
                         fail(w, "worker pipe broken at dispatch", respawn_at=i)
+            if status is not None:
+                status.write(_worker_states(workers, time.perf_counter()))
             busy = [w for w in workers if w.task is not None]
             if not busy:
                 continue

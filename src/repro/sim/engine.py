@@ -142,6 +142,11 @@ class Simulator:
         # Metrics registry (repro.obs.Telemetry.bind sets this); used
         # for low-rate operational counters such as timer_jitter_clamped.
         self.metrics: Optional[Any] = None
+        # Live streamer (repro.obs.stream.TelemetryStreamer.attach sets
+        # this): the instrumented loop pulses it at stride boundaries.
+        # Snapshots only read engine state — never schedule events —
+        # so the journal is identical with or without a stream.
+        self.stream: Optional[Any] = None
         self.timer_jitter_clamps: int = 0
 
         if scheduler is None:
@@ -312,7 +317,7 @@ class Simulator:
         if journal is not None:
             before = self.events_processed
             journal.record("sim_run_start", pending=self._live)
-        if self.profiler is not None:
+        if self.profiler is not None or self.stream is not None:
             self._run_profiled(until)
         else:
             self._run_plain(until)
@@ -370,14 +375,20 @@ class Simulator:
 
     def _run_profiled(self, until: Optional[float] = None) -> None:
         """The same event loop as :meth:`run`, instrumented for the
-        attached profiler: wall-clock timing and the live pending-event
-        high-water mark.  Kept as a separate copy so the unprofiled
-        loop carries zero instrumentation cost."""
+        attached profiler (wall-clock timing, live pending high-water
+        mark) and/or live streamer (pulsed once per ``check_stride``
+        dispatched events — a bitmask test on the hot path).  Kept as a
+        separate copy so the uninstrumented loop carries zero cost."""
         # reprolint: ignore[RPL002] -- self-profiling measures real wall
         # time for repro.obs; it never feeds back into simulated state
         from time import perf_counter
 
         prof = self.profiler
+        stream = self.stream
+        # Stream pulse cadence: the pulse fires when `processed` is a
+        # multiple of the stream's power-of-two check stride.
+        smask = stream.check_mask if stream is not None else 0
+        sbase = self.events_processed
         self._running = True
         self._stopped = False
         free = self._free
@@ -415,6 +426,8 @@ class Simulator:
                     ev.fn = _retired
                     ev.args = ()
                     free.append(ev)
+                if stream is not None and (processed & smask) == 0:
+                    stream.pulse(self, sbase + processed)
                 if self._stopped:
                     break
             if until is not None and not self._stopped and self.now < until:
@@ -422,12 +435,13 @@ class Simulator:
         finally:
             self._running = False
             self.events_processed += processed
-            prof.note_heap(hwm)
-            prof.record_run(
-                processed,
-                perf_counter() - wall_start,  # reprolint: ignore[RPL002]
-                self.now - sim_start,
-            )
+            if prof is not None:
+                prof.note_heap(hwm)
+                prof.record_run(
+                    processed,
+                    perf_counter() - wall_start,  # reprolint: ignore[RPL002]
+                    self.now - sim_start,
+                )
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""

@@ -283,6 +283,125 @@ class TestExport:
         assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
         assert DEFAULT_LATENCY_BUCKETS[-1] >= 300.0
 
+    def test_json_default_sorts_mixed_type_sets(self):
+        from repro.obs.export import json_default
+
+        # A homogeneous set stays value-sorted ...
+        assert json_default({3, 1, 2}) == [1, 2, 3]
+        # ... and a mixed-type set (unorderable in py3) falls back to a
+        # stable repr ordering instead of raising TypeError.
+        mixed = json_default({1, "a", (2, 3)})
+        assert sorted(map(repr, mixed)) == [repr(v) for v in mixed]
+        assert json.loads(json.dumps({"s": {1, "a"}}, default=json_default))
+
+
+class TestExposition:
+    """Parse the emitted exposition text back (the scraper's view)."""
+
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("pkts_total", cls="legit").inc(5)
+        reg.counter("pkts_total", cls="attack").inc(2)
+        reg.gauge("depth", queue="q0").set(7)
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(50.0)
+        return reg
+
+    def test_round_trip_preserves_samples_and_types(self):
+        from repro.obs.export import parse_exposition
+
+        doc = parse_exposition(registry_to_prometheus(self._registry()))
+        assert doc["types"]["repro_pkts_total"] == "counter"
+        assert doc["types"]["repro_depth"] == "gauge"
+        assert doc["types"]["repro_lat"] == "histogram"
+        by_key = {
+            (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+            for s in doc["samples"]
+        }
+        assert by_key[("repro_pkts_total", (("cls", "legit"),))] == 5
+        assert by_key[("repro_depth", (("queue", "q0"),))] == 7
+        assert by_key[("repro_lat_count", ())] == 3
+
+    def test_bucket_series_parses_cumulative_monotone(self):
+        from repro.obs.export import parse_exposition
+
+        doc = parse_exposition(registry_to_prometheus(self._registry()))
+        buckets = [
+            (s["labels"]["le"], s["value"])
+            for s in doc["samples"]
+            if s["name"] == "repro_lat_bucket"
+        ]
+        assert [le for le, _ in buckets] == ["0.1", "1", "+Inf"]
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_label_escaping_round_trips(self):
+        from repro.obs.export import parse_exposition
+
+        reg = MetricsRegistry()
+        evil = 'a\\b"c\nd,e}f'
+        reg.counter("m_total", path=evil).inc(1)
+        text = registry_to_prometheus(reg)
+        assert "\n" not in text.splitlines()[1]  # newline escaped in place
+        doc = parse_exposition(text)
+        (sample,) = [s for s in doc["samples"] if s["name"] == "repro_m_total"]
+        assert sample["labels"]["path"] == evil
+
+    def test_openmetrics_terminated_by_eof(self):
+        from repro.obs.export import parse_exposition, registry_to_openmetrics
+
+        text = registry_to_openmetrics(
+            self._registry(), extra_lines=["# TYPE x gauge", "x 1"]
+        )
+        assert text.endswith("# EOF\n")
+        doc = parse_exposition(text)
+        assert doc["eof"] is True
+        assert any(s["name"] == "x" for s in doc["samples"])
+        # Prometheus exposition alone carries no EOF marker.
+        assert parse_exposition(registry_to_prometheus(self._registry()))[
+            "eof"
+        ] is False
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "# TYPE missing_kind",
+            "name_only",
+            'm{le="unterminated 1',
+            "m notanumber",
+        ],
+    )
+    def test_malformed_lines_are_rejected(self, bad):
+        from repro.obs.export import parse_exposition
+
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_textfile_rewrite_is_atomic(self, tmp_path):
+        from repro.obs.export import write_textfile_atomic
+
+        target = tmp_path / "metrics.prom"
+        write_textfile_atomic(target, "v1\n# EOF\n")
+        assert target.read_text() == "v1\n# EOF\n"
+        write_textfile_atomic(target, "v2\n# EOF\n")
+        assert target.read_text() == "v2\n# EOF\n"
+        # No temp-file droppings survive the rewrites.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_textfile_write_failure_cleans_up_temp(self, tmp_path, monkeypatch):
+        import repro.obs.export as export
+
+        def boom(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(export.os, "replace", boom)
+        with pytest.raises(OSError):
+            export.write_textfile_atomic(tmp_path / "m.prom", "x\n")
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestTelemetryIntegration:
     """End-to-end checks on real (small, fixed-seed) simulations."""
