@@ -1,0 +1,91 @@
+"""Adversary-policy smoke — adaptive attackers and reflection traceback.
+
+Runs the policy zoo (aware, churn, reflection) at the golden tiny
+scale on the honeypot defense and checks the shapes the subsystem
+promises: adaptive bots still get captured, the reflection workload's
+back-propagated signature lands on the reflectors, and the amplifier
+trigger logs recover the true sources behind them (stage two).
+
+Every metric here is a deterministic counter for a fixed seed — the
+regression gate (``repro regress`` vs ``benchmarks/baseline.json``)
+holds them exactly.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import render_table, run_many
+from repro.experiments.scenarios import TreeScenarioParams
+from repro.obs import Telemetry
+
+TINY = TreeScenarioParams(
+    n_leaves=12,
+    n_attackers=3,
+    duration=12.0,
+    attack_start=2.0,
+    attack_end=10.0,
+    epoch_len=4.0,
+)
+
+POINTS = {
+    "aware": replace(TINY, seed=19, attacker_policy="aware"),
+    "churn": replace(TINY, seed=29, attacker_policy="churn"),
+    "reflection": replace(
+        TINY, seed=31, attacker_policy="reflection", n_amplifiers=2
+    ),
+}
+
+
+def run_all():
+    telemetry = Telemetry()
+    results = run_many(dict(POINTS), telemetry=telemetry)
+    return telemetry, results
+
+
+def test_policy_smoke(benchmark, report):
+    report.name = "policies"
+    telemetry, results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    journal = telemetry.journal
+    refl = results["reflection"]
+    traced = sorted({s for srcs in refl.traced_sources.values() for s in srcs})
+    report("Adversary policies — tiny-scale smoke (honeypot defense)")
+    report(
+        render_table(
+            ["policy", "captures", "false", "legit %"],
+            [
+                [
+                    name,
+                    len(r.capture_times),
+                    r.false_captures,
+                    f"{r.legit_pct_during_attack:.1f}",
+                ]
+                for name, r in results.items()
+            ],
+        )
+    )
+    report("")
+    report(
+        f"reflection: {refl.reflector_captures}/{len(refl.amplifier_ids)} "
+        f"reflectors captured; trigger logs traced sources {traced}"
+    )
+    decisions = len(journal.find("attack_policy"))
+    hops = len(journal.find("reflect_hop"))
+    traces = len(journal.find("reflector_traceback"))
+    report.metric("aware_captures", len(results["aware"].capture_times))
+    report.metric("churn_captures", len(results["churn"].capture_times))
+    report.metric("reflector_captures", refl.reflector_captures)
+    report.metric("traced_sources", len(traced))
+    report.metric("policy_decisions", decisions)
+    report.metric("reflect_hops", hops)
+    report.metric("false_captures_total", sum(r.false_captures for r in results.values()))
+    # --- Shape assertions ---------------------------------------------
+    # Adaptive evasion slows capture but does not defeat the defense.
+    assert results["churn"].capture_times
+    # The spoofed signature points at reflectors, never at the bots.
+    assert refl.reflector_captures >= 1
+    assert refl.false_captures == 0
+    # Stage two: a captured reflector's trigger log names true sources.
+    assert traces >= 1 and traced
+    assert hops >= len(traced)
+    # Policy decisions are journaled for every adaptive run.
+    assert decisions >= 1
+    assert sum(r.false_captures for r in results.values()) == 0

@@ -84,8 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the regenerable figures")
 
+    figure_help = {
+        "policies": "capture-rate curves for every adversary policy "
+        "(adaptive attackers + reflection/amplification)",
+    }
     for name in sorted(FIGURES):
-        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        p = sub.add_parser(
+            name, help=figure_help.get(name, f"regenerate the paper's {name}")
+        )
         p.add_argument(
             "--scale",
             choices=("quick", "default", "paper"),
@@ -156,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="honeypot",
         help="defense configuration of the base scenario",
     )
+    _add_policy_args(w)
     w.add_argument(
         "--jobs",
         type=int,
@@ -248,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="honeypot",
         help="defense configuration to instrument",
     )
+    _add_policy_args(s)
     s.add_argument(
         "--scheduler",
         choices=("heap", "calendar", "auto"),
@@ -491,8 +499,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs import Telemetry
 
         telemetry = Telemetry()
-        params = replace(
-            _scenario_base(args.scale, args.scheduler), defense=args.defense
+        params = _apply_policy_args(
+            replace(_scenario_base(args.scale, args.scheduler), defense=args.defense),
+            args,
         )
         stream = None
         if args.stream_out:
@@ -559,6 +568,46 @@ def _write_journal(telemetry, path: Optional[str]) -> Optional[str]:
     return telemetry.journal.write_jsonl(path)
 
 
+def _add_policy_args(p: argparse.ArgumentParser) -> None:
+    """``--policy``/``--amplifiers``: adversary-model selection."""
+    from .traffic.policies import POLICY_NAMES
+
+    p.add_argument(
+        "--policy",
+        choices=POLICY_NAMES,
+        default=None,
+        help="attacker policy of the base scenario (default: "
+        "$REPRO_POLICY, else continuous); 'reflection' bounces spoofed "
+        "triggers off amplifier leaves",
+    )
+    p.add_argument(
+        "--amplifiers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="amplifier (reflector) leaves for the reflection workload "
+        "(default: none; reflection policy defaults to "
+        "max(2, n_attackers // 5))",
+    )
+
+
+def _apply_policy_args(base, args):
+    """Fold ``--policy``/``--amplifiers`` (or ``$REPRO_POLICY``) into
+    the base scenario params."""
+    from dataclasses import replace
+
+    from .traffic.policies import resolve_policy
+
+    name = resolve_policy(getattr(args, "policy", None))
+    n_amp = getattr(args, "amplifiers", None)
+    if n_amp is None and name == "reflection":
+        n_amp = max(2, base.n_attackers // 5)
+    kwargs = {"attacker_policy": name}
+    if n_amp is not None:
+        kwargs["n_amplifiers"] = n_amp
+    return replace(base, **kwargs)
+
+
 def _add_stream_dir_args(p: argparse.ArgumentParser) -> None:
     """``--stream-dir``/``--stream-interval`` for multi-run commands."""
     p.add_argument(
@@ -618,8 +667,9 @@ def _run_sweep_command(args) -> int:
     from .obs.export import write_json
     from .parallel import PoolConfig, SweepCheckpoint, resolve_jobs
 
-    base = replace(
-        _scenario_base(args.scale, args.scheduler), defense=args.defense
+    base = _apply_policy_args(
+        replace(_scenario_base(args.scale, args.scheduler), defense=args.defense),
+        args,
     )
     values = _parse_sweep_values(base, args.field, args.values)
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]

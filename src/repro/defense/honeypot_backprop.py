@@ -7,7 +7,7 @@ agents.  Captures (closed switch ports) are collected centrally.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..backprop.filters import CaptureRecord
 from ..backprop.intraas import (
@@ -54,6 +54,20 @@ class HoneypotBackpropDefense(Defense):
         # the scenario (which owns the topology) so stream_sample() can
         # report how deep the back-propagation frontier has reached.
         self.frontier_depth_of: Optional[Callable[[int], Optional[int]]] = None
+        # Notified (in registration order) on every capture, after it is
+        # appended to ``captures``.  The scenario uses this for the
+        # stage-two reflector traceback journal event.
+        self.capture_listeners: List[Callable[[CaptureRecord], None]] = []
+        # Host addrs known to be reflectors (amplifier leaves); set by
+        # reflection scenarios so capture-progress accounting can split
+        # reflector captures from true-source captures.  Membership-only
+        # (never iterated), so a frozenset is deterministic here.
+        self.known_reflectors: FrozenSet[int] = frozenset()
+
+    def _on_capture(self, record: CaptureRecord) -> None:
+        self.captures.append(record)
+        for listener in self.capture_listeners:
+            listener(record)
 
     def attach(self, network: Network) -> None:
         sim = network.sim
@@ -64,7 +78,7 @@ class HoneypotBackpropDefense(Defense):
                     sim,
                     router,
                     self.config,
-                    on_capture=self.captures.append,
+                    on_capture=self._on_capture,
                     telemetry=self.telemetry,
                 )
             )
@@ -117,6 +131,15 @@ class HoneypotBackpropDefense(Defense):
             ),
             "honeypot_hits": sum(a.honeypot_hits for a in self.server_agents),
         }
+        if self.known_reflectors:
+            # Two-stage traceback progress: stage one captures the
+            # reflectors the signature points at; anything else captured
+            # is a true source (stage two / direct).
+            reflectors = sum(
+                1 for c in self.captures if c.host_addr in self.known_reflectors
+            )
+            sample["reflector_captures"] = reflectors
+            sample["source_captures"] = len(self.captures) - reflectors
         depth_of = self.frontier_depth_of
         if depth_of is not None and engaged:
             depths = [
@@ -129,7 +152,7 @@ class HoneypotBackpropDefense(Defense):
         return sample
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats: Dict[str, Any] = {
             "defense": self.name,
             "captures": len(self.captures),
             "requests_sent": sum(a.requests_sent for a in self.router_agents)
@@ -141,3 +164,8 @@ class HoneypotBackpropDefense(Defense):
             ),
             "honeypot_hits": sum(a.honeypot_hits for a in self.server_agents),
         }
+        if self.known_reflectors:
+            stats["reflector_captures"] = sum(
+                1 for c in self.captures if c.host_addr in self.known_reflectors
+            )
+        return stats

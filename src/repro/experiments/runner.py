@@ -68,6 +68,9 @@ def result_to_dict(result: TreeScenarioResult) -> Dict[str, Any]:
         "attacker_ids": list(result.attacker_ids),
         "client_ids": list(result.client_ids),
         "events_processed": result.events_processed,
+        "amplifier_ids": list(result.amplifier_ids),
+        "reflector_captures": result.reflector_captures,
+        "traced_sources": {str(k): list(v) for k, v in result.traced_sources.items()},
     }
 
 
@@ -85,6 +88,11 @@ def result_from_dict(d: Dict[str, Any]) -> TreeScenarioResult:
         attacker_ids=list(d.get("attacker_ids", ())),
         client_ids=list(d.get("client_ids", ())),
         events_processed=d["events_processed"],
+        amplifier_ids=list(d.get("amplifier_ids", ())),
+        reflector_captures=d.get("reflector_captures", 0),
+        traced_sources={
+            int(k): list(v) for k, v in d.get("traced_sources", {}).items()
+        },
     )
 
 

@@ -32,9 +32,15 @@ from ..sim.engine import Simulator
 from ..sim.monitor import ThroughputMonitor, mean_over_window
 from ..sim.network import Network
 from ..sim.rng import RngRegistry
-from ..topology.tree import TreeParams, assign_roles, build_tree_topology
-from ..traffic.attacker import AttackHost
+from ..topology.tree import (
+    TreeParams,
+    assign_roles,
+    build_tree_topology,
+    split_amplifiers,
+)
+from ..traffic.amplifier import AmplifierApp
 from ..traffic.client import RoamingClientApp, StaticClientApp
+from ..traffic.policies import NULL_PROBES, BotEnv, DefenseProbes, make_policy
 
 __all__ = [
     "TreeScenarioParams",
@@ -70,6 +76,20 @@ class TreeScenarioParams:
     placement: Literal["close", "far", "even"] = "even"
     t_on: Optional[float] = None
     t_off: Optional[float] = None
+    # Adversary policy (see repro.traffic.policies): "continuous",
+    # "onoff", "follower", "aware", "probing", "churn", "reflection".
+    attacker_policy: str = "continuous"
+    # Reflection/amplification workload: amplifier leaves that bounce
+    # spoofed triggers toward the victim at gain ``amplification``.
+    n_amplifiers: int = 0
+    amplification: float = 5.0
+    # Policy knobs: follower reaction delay, aware-backoff window,
+    # probing cadence, churn online/offline dwell means.
+    d_follow: float = 1.0
+    aware_backoff: float = 8.0
+    probe_interval: float = 2.0
+    churn_on: float = 6.0
+    churn_off: float = 3.0
     # Legitimate load: fraction of the bottleneck filled by clients.
     legit_load: float = 0.9
     packet_size: int = 1000
@@ -93,7 +113,7 @@ class TreeScenarioParams:
 
     @property
     def n_clients(self) -> int:
-        return self.n_leaves - self.n_attackers
+        return self.n_leaves - self.n_attackers - self.n_amplifiers
 
     @property
     def client_rate(self) -> float:
@@ -145,6 +165,12 @@ class TreeScenarioResult:
     attacker_ids: List[int] = field(default_factory=list)
     client_ids: List[int] = field(default_factory=list)
     events_processed: int = 0
+    # Reflection workloads: amplifier leaves, how many of the captures
+    # hit reflectors, and the stage-two traceback (captured reflector ->
+    # true trigger sources from its log).
+    amplifier_ids: List[int] = field(default_factory=list)
+    reflector_captures: int = 0
+    traced_sources: Dict[int, List[int]] = field(default_factory=dict)
 
 
 def _build_defense(
@@ -203,8 +229,24 @@ def run_tree_scenario(
     """
     if not 0 <= params.n_attackers <= params.n_leaves:
         raise ValueError("n_attackers out of range")
+    if params.n_attackers + params.n_amplifiers > params.n_leaves:
+        raise ValueError("n_attackers + n_amplifiers exceeds n_leaves")
     if not 0 < params.attack_start < params.attack_end <= params.duration:
         raise ValueError("need 0 < attack_start < attack_end <= duration")
+    if params.attacker_policy == "reflection" and params.n_amplifiers < 1:
+        raise ValueError("reflection policy needs n_amplifiers >= 1")
+    # Fail fast on an unknown policy name, before building anything.
+    policy = make_policy(
+        params.attacker_policy,
+        t_on=params.t_on,
+        t_off=params.t_off,
+        d_follow=params.d_follow,
+        aware_backoff=params.aware_backoff,
+        probe_interval=params.probe_interval,
+        churn_on=params.churn_on,
+        churn_off=params.churn_off,
+        amplification=params.amplification,
+    )
     rngs = RngRegistry(params.seed)
 
     tree_params = TreeParams(
@@ -214,11 +256,20 @@ def run_tree_scenario(
     )
     topo = build_tree_topology(tree_params, rngs.stream("topology"))
     net = Network.from_graph(topo.graph, sim=Simulator(scheduler=params.scheduler))
-    net.build_routes(targets=topo.server_ids)
 
     attacker_ids, client_ids = assign_roles(
         topo, params.n_attackers, params.placement, rngs.stream("roles")
     )
+    amplifier_ids: List[int] = []
+    if params.n_amplifiers:
+        # A fresh named stream and a draw-free n==0 path keep seed
+        # scenarios byte-identical to pre-amplifier journals.
+        amplifier_ids, client_ids = split_amplifiers(
+            client_ids, params.n_amplifiers, rngs.stream("amplifiers")
+        )
+    # Amplifier leaves are traffic sinks (triggers are routed to them),
+    # so they join the servers in the routing targets.
+    net.build_routes(targets=list(topo.server_ids) + amplifier_ids)
     if telemetry is not None:
         telemetry.bind(net.sim)
     streamer = None
@@ -263,6 +314,62 @@ def run_tree_scenario(
         streamer.add_source("progress", _progress)
         streamer.add_source("defense", defense.stream_sample)
 
+    # --- Amplifiers (reflection workload) ------------------------------
+    journal = telemetry.journal if telemetry is not None else None
+    amplifiers: List[AmplifierApp] = []
+    for leaf in amplifier_ids:
+        amplifiers.append(
+            AmplifierApp(
+                net.sim,
+                net.nodes[leaf],
+                amplification=params.amplification,
+                journal=journal,
+            )
+        )
+    if isinstance(defense, HoneypotBackpropDefense) and amplifiers:
+        amp_by_addr = {app.host.addr: app for app in amplifiers}
+        defense.known_reflectors = frozenset(amp_by_addr)
+        if journal is not None:
+            # Stage two of the traceback: when a reflector is captured,
+            # its trigger log names the true sources behind it.
+            def _stage_two(record) -> None:
+                app = amp_by_addr.get(record.host_addr)
+                if app is not None:
+                    journal.record(
+                        "reflector_traceback",
+                        reflector=int(record.host_addr),
+                        sources=sorted(int(s) for s in app.trigger_sources),
+                        triggers=int(app.triggers_received),
+                    )
+
+            defense.capture_listeners.append(_stage_two)
+
+    # --- Adaptive-attacker probes --------------------------------------
+    probes = NULL_PROBES
+    if isinstance(defense, HoneypotBackpropDefense) and pool is not None:
+        server_index = {int(addr): i for i, addr in enumerate(topo.server_ids)}
+        access_of = topo.access_router_of
+        captures = defense.captures
+
+        def _is_server_honeypot(addr: int) -> bool:
+            return pool.is_honeypot_now(server_index[int(addr)])
+
+        def _subtree_captured(addr: int) -> bool:
+            router = access_of.get(addr)
+            for c in captures:
+                if c.host_addr == addr or c.access_router_addr == router:
+                    return True
+            return False
+
+        def _captures_total() -> int:
+            return len(captures)
+
+        probes = DefenseProbes(
+            is_server_honeypot=_is_server_honeypot,
+            subtree_captured=_subtree_captured,
+            captures_total=_captures_total,
+        )
+
     # --- Legitimate clients -------------------------------------------
     client_rng = rngs.stream("clients")
     clients = []
@@ -296,21 +403,29 @@ def run_tree_scenario(
         clients.append(app)
 
     # --- Attackers -----------------------------------------------------
+    # ``attackers`` is the seed per-bot stream (target/spoof/phase draws
+    # in the legacy order); ``attacker-policy`` is a separate stream for
+    # policy-level decisions, so adaptive policies never perturb it.
     attack_rng = rngs.stream("attackers")
+    policy_rng = rngs.stream("attacker-policy")
+    server_addrs = tuple(int(s) for s in topo.server_ids)
+    amplifier_addrs = tuple(int(a) for a in amplifier_ids)
     zombies = []
     for leaf in attacker_ids:
-        host = net.nodes[leaf]
-        z = AttackHost(
-            net.sim,
-            host,
-            topo.server_ids,
-            params.attacker_rate,
-            attack_rng,
-            params.packet_size,
-            t_on=params.t_on,
-            t_off=params.t_off,
+        env = BotEnv(
+            sim=net.sim,
+            host=net.nodes[leaf],
+            servers=server_addrs,
+            rate_bps=params.attacker_rate,
+            packet_size=params.packet_size,
             jitter=params.jitter,
+            rng=attack_rng,
+            policy_rng=policy_rng,
+            probes=probes,
+            amplifiers=amplifier_addrs,
+            journal=journal,
         )
+        z = policy.spawn(env)
         z.start(at=params.attack_start)
         net.sim.schedule_at(params.attack_end, z.stop)
         zombies.append(z)
@@ -348,19 +463,38 @@ def run_tree_scenario(
 
     capture_times: Dict[int, float] = {}
     false_caps = 0
+    reflector_captures = 0
+    traced_sources: Dict[int, List[int]] = {}
     if isinstance(defense, HoneypotBackpropDefense):
         capture_times = defense.capture_times(params.attack_start)
-        false_caps = len(defense.false_captures(attacker_ids))
+        # Captured reflectors are correct defense behavior (the spoofed
+        # signature points at them), not false captures.
+        false_caps = len(
+            defense.false_captures(list(attacker_ids) + list(amplifier_ids))
+        )
+        if amplifiers:
+            amp_apps = {app.host.addr: app for app in amplifiers}
+            for c in defense.captures:
+                app = amp_apps.get(c.host_addr)
+                if app is not None:
+                    reflector_captures += 1
+                    traced_sources[int(c.host_addr)] = sorted(
+                        int(s) for s in app.trigger_sources
+                    )
 
     if telemetry is not None:
         telemetry.snapshot_network(net)
         telemetry.record_stats(defense.stats(), prefix=f"{defense.name}_")
         telemetry.extra.setdefault("throughput", monitor.to_dict())
-        telemetry.extra.setdefault("scenario", {})[params.defense] = {
+        entry = {
             "legit_pct_during_attack": during,
             "captures": len(capture_times),
             "false_captures": false_caps,
         }
+        if amplifier_ids:
+            entry["reflector_captures"] = reflector_captures
+            entry["traced_sources"] = sum(len(v) for v in traced_sources.values())
+        telemetry.extra.setdefault("scenario", {})[params.defense] = entry
 
     if streamer is not None:
         # Final snapshot *after* the post-run registry fold, so the last
@@ -381,4 +515,7 @@ def run_tree_scenario(
         attacker_ids=list(attacker_ids),
         client_ids=list(client_ids),
         events_processed=net.sim.events_processed,
+        amplifier_ids=list(amplifier_ids),
+        reflector_captures=reflector_captures,
+        traced_sources=traced_sources,
     )

@@ -361,6 +361,9 @@ h1 { font-size: 1.1em; } h2 { font-size: 0.95em; color: #9cf; }
 .dot.port_close { background: #f66; }
 .dot.session_open, .dot.session_close { background: #6f6; }
 .dot.epoch_roll { background: #fc6; }
+.dot.attack_policy { background: #c6f; }
+.dot.reflect_hop { background: #f96; }
+.dot.reflector_traceback { background: #f33; }
 .t { color: #777; } .attrs { color: #998; }
 """
 

@@ -50,6 +50,13 @@ class Telemetry:
     def bind(self, sim: Any) -> "Telemetry":
         """Clock the spans/journal off ``sim`` and profile its event
         loop; the simulator also journals its own run boundaries."""
+        # The session rendezvous is per simulation run: a shared hub
+        # (serial run_many) binding a fresh simulator must not let a
+        # previous run's (honeypot, epoch) keys swallow this run's
+        # session_open events — pool workers start empty, and serial
+        # must match them byte-for-byte.
+        self.session_spans.clear()
+        self.session_journal.clear()
         self.spans.clock = lambda: sim.now
         self.journal.clock = lambda: sim.now
         sim.journal = self.journal

@@ -35,7 +35,13 @@ from .distributions import (
     PAPER_NODE_DEGREE_DIST,
 )
 
-__all__ = ["TreeTopology", "TreeParams", "build_tree_topology", "assign_roles"]
+__all__ = [
+    "TreeTopology",
+    "TreeParams",
+    "build_tree_topology",
+    "assign_roles",
+    "split_amplifiers",
+]
 
 Placement = Literal["close", "far", "even"]
 
@@ -254,3 +260,33 @@ def assign_roles(
     attacker_set = set(attackers)
     clients = [leaf for leaf in topo.leaf_ids if leaf not in attacker_set]
     return attackers, clients
+
+
+def split_amplifiers(
+    client_ids: List[int],
+    n_amplifiers: int,
+    rng: np.random.Generator,
+) -> Tuple[List[int], List[int]]:
+    """Split ``client_ids`` into (amplifiers, remaining clients).
+
+    Amplifier leaves host abusable reflector services for the
+    reflection/amplification workload; they are drawn uniformly among
+    the non-attacker leaves.  With ``n_amplifiers == 0`` this is a pure
+    pass-through that consumes **zero** RNG draws, so scenarios without
+    amplifiers replay seed journals byte-for-byte.
+
+    Amplifier ids are returned sorted (stable role assignment); the
+    remaining clients keep their original order.
+    """
+    if not 0 <= n_amplifiers <= len(client_ids):
+        raise ValueError(
+            f"n_amplifiers={n_amplifiers} out of range for "
+            f"{len(client_ids)} candidate leaves"
+        )
+    if n_amplifiers == 0:
+        return [], list(client_ids)
+    order = rng.permutation(len(client_ids))
+    chosen = sorted(int(client_ids[i]) for i in order[:n_amplifiers])
+    chosen_set = set(chosen)
+    clients = [leaf for leaf in client_ids if leaf not in chosen_set]
+    return chosen, clients

@@ -1,5 +1,6 @@
-"""Traffic generators: CBR clients, spoofing zombies, on-off attacks."""
+"""Traffic generators: CBR clients, spoofing zombies, adversary policies."""
 
+from .amplifier import AmplifierApp
 from .attacker import (
     SPOOF_BASE,
     AttackHost,
@@ -7,6 +8,25 @@ from .attacker import (
     make_spoofer,
 )
 from .client import RoamingClientApp, StaticClientApp
+from .policies import (
+    NULL_PROBES,
+    POLICY_NAMES,
+    AttackerPolicy,
+    AwareAttackHost,
+    BotEnv,
+    ChurnAttackHost,
+    ChurnPolicy,
+    ContinuousPolicy,
+    DefenseProbes,
+    FollowerPolicy,
+    HoneypotAwarePolicy,
+    ProbingAttackHost,
+    ProbingPolicy,
+    ReflectionAttackHost,
+    ReflectionPolicy,
+    make_policy,
+    resolve_policy,
+)
 from .session import (
     CheckpointMsg,
     MigratingClientApp,
@@ -17,17 +37,35 @@ from .session import (
 from .sources import CBRSource, OnOffSource
 
 __all__ = [
+    "AmplifierApp",
     "AttackHost",
+    "AttackerPolicy",
+    "AwareAttackHost",
+    "BotEnv",
     "CBRSource",
     "CheckpointMsg",
+    "ChurnAttackHost",
+    "ChurnPolicy",
+    "ContinuousPolicy",
+    "DefenseProbes",
     "FollowerAttackHost",
+    "FollowerPolicy",
+    "HoneypotAwarePolicy",
     "MigratingClientApp",
+    "NULL_PROBES",
     "OnOffSource",
+    "POLICY_NAMES",
+    "ProbingAttackHost",
+    "ProbingPolicy",
+    "ReflectionAttackHost",
+    "ReflectionPolicy",
     "ResumeMsg",
     "RoamingClientApp",
     "SPOOF_BASE",
     "SessionData",
     "SessionServerApp",
     "StaticClientApp",
+    "make_policy",
     "make_spoofer",
+    "resolve_policy",
 ]

@@ -123,6 +123,7 @@ class FollowerAttackHost:
         poll_interval: float = 0.1,
         packet_size: int = 1000,
         rng: Optional[np.random.Generator] = None,
+        jitter: float = 0.0,
     ) -> None:
         if d_follow < 0:
             raise ValueError("d_follow must be >= 0")
@@ -134,26 +135,46 @@ class FollowerAttackHost:
         self.cbr = CBRSource(
             sim, host, target, rate_bps, packet_size,
             flow=("attack", host.addr), src_fn=src_fn,
+            jitter=jitter, rng=rng,
         )
         self._running = False
         self._honeypot_seen_at: Optional[float] = None
+        # Pending lifecycle handles: stop() must cancel both, otherwise
+        # a stop() before _begin() fires leaves the stale start event
+        # queued (it would re-arm a duplicate poll timer on restart) and
+        # a stop() after _begin() leaves the poll timer running forever.
+        self._start_event = None
+        self._poll_timer = None
 
     def start(self, at: Optional[float] = None) -> None:
         if self._running:
             return
         self._running = True
         when = self.sim.now if at is None else at
-        self.sim.schedule_at(max(when, self.sim.now), self._begin)
+        self._start_event = self.sim.schedule_at(max(when, self.sim.now), self._begin)
 
     def _begin(self) -> None:
+        # Drop the fired handle first: the engine may recycle it.
+        self._start_event = None
         if not self._running:
             return
         self.cbr.start()
-        self.sim.every(self.poll_interval, self._poll)
+        if self._poll_timer is None:
+            self._poll_timer = self.sim.every(self.poll_interval, self._poll)
 
     def stop(self) -> None:
         self._running = False
+        if self._start_event is not None:
+            self._start_event.cancel()
+            self._start_event = None
+        if self._poll_timer is not None:
+            self._poll_timer.cancel()
+            self._poll_timer = None
         self.cbr.stop()
+
+    @property
+    def packets_sent(self) -> int:
+        return self.cbr.packets_sent
 
     def _poll(self) -> None:
         if not self._running:

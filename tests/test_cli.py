@@ -25,6 +25,7 @@ class TestFigureFunctions:
     def test_all_figures_registered(self):
         assert set(FIGURES) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "policies",
         }
 
     def test_unknown_figure(self):

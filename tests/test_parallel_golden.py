@@ -48,19 +48,21 @@ GOLDEN_POINTS = {
 }
 
 # SHA-256 over canonical JSON (sort_keys) of result_to_dict(...).
-# Last regenerated for the fast-path PR: the fused channel transmit
-# collapses the tx_done->deliver event pair, so events_processed drops
-# ~45% (every simulation result — capture times, throughput — is
-# unchanged), and the artifact gained scheduler fields.
+# Last regenerated for the adversary-policy PR: the params dict gained
+# the policy knobs (attacker_policy, n_amplifiers, ...) and the result
+# gained amplifier_ids/reflector_captures/traced_sources.  Every
+# simulation value — capture times, throughput curves, event counts —
+# is unchanged; the legacy-equivalence suite proves the journal bytes
+# are too.
 GOLDEN_DIGESTS = {
     "fig8/honeypot-even": (
-        "8c7dff533250bb36490f2cefcb2cf211fba1363fc4a04f78af608de107ecb3da"
+        "b5e69121db5991e7d0aebc816be576d533e2506b765df40f4a06f795e1f699b7"
     ),
     "fig10/pushback-close": (
-        "1abbd38b317d586676be902b47268fd896a5c36a5c8032503a3a98e09ad1f2ab"
+        "738aac9a8d80de48762f4f5fab23091de1d184a1b485fff7e2ba2cfe37faec88"
     ),
     "fig11/none-halfrate": (
-        "b2f80d5650a935821bf51eba8d9f1f575c274bd64f0b44e6ec317ecf11da7569"
+        "3e9c188bda9ab8b186a10ecc9c184111f56d1dc0e01d1db59c6510e0a59a98bc"
     ),
 }
 
@@ -158,3 +160,83 @@ class TestInstrumentedSerialEqualsParallel:
         finishes = serial_telemetry.journal.find("pool_task_finish")
         assert [e.attrs["task"] for e in starts] == list(GOLDEN_POINTS)
         assert [e.attrs["task"] for e in finishes] == list(GOLDEN_POINTS)
+
+
+# One point per adversary policy (and the reflection workload) at the
+# same tiny scale.  Seeds differ per policy so runs don't accidentally
+# share RNG state through copy-paste.
+POLICY_POINTS = {
+    "policy/follower": replace(TINY, seed=17, attacker_policy="follower"),
+    "policy/aware": replace(TINY, seed=19, attacker_policy="aware"),
+    "policy/probing": replace(TINY, seed=23, attacker_policy="probing"),
+    "policy/churn": replace(TINY, seed=29, attacker_policy="churn"),
+    "policy/reflection": replace(
+        TINY, seed=31, attacker_policy="reflection", n_amplifiers=2
+    ),
+}
+
+
+class TestPolicyGoldenJournals:
+    """Determinism of the adversary-policy subsystem: every policy's
+    instrumented journal is byte-identical serial vs pooled (1, 2, 4
+    workers) and heap vs calendar scheduler."""
+
+    @pytest.fixture(scope="class")
+    def serial_policy_telemetry(self):
+        from repro.experiments.runner import run_many
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        run_many(dict(POLICY_POINTS), telemetry=telemetry)
+        return telemetry
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_pool_journal_matches_serial(
+        self, serial_policy_telemetry, jobs, tmp_path
+    ):
+        from repro.experiments.runner import run_many
+        from repro.obs import Telemetry
+        from repro.obs.journal import diff_journals
+
+        pooled = Telemetry()
+        run_many(
+            dict(POLICY_POINTS),
+            pool_config=PoolConfig(jobs=jobs, inline=False),
+            telemetry=pooled,
+        )
+        assert diff_journals(serial_policy_telemetry.journal, pooled.journal) is None
+        serial_path = serial_policy_telemetry.journal.write_jsonl(
+            tmp_path / "serial.jsonl"
+        )
+        pooled_path = pooled.journal.write_jsonl(tmp_path / f"pool{jobs}.jsonl")
+        with open(serial_path, "rb") as a, open(pooled_path, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_calendar_scheduler_matches_heap(self, tmp_path):
+        from repro.experiments.runner import run_many
+        from repro.obs import Telemetry
+        from repro.obs.journal import diff_journals
+
+        heap, calendar = Telemetry(), Telemetry()
+        run_many(
+            {k: replace(p, scheduler="heap") for k, p in POLICY_POINTS.items()},
+            telemetry=heap,
+        )
+        run_many(
+            {k: replace(p, scheduler="calendar") for k, p in POLICY_POINTS.items()},
+            telemetry=calendar,
+        )
+        assert diff_journals(heap.journal, calendar.journal) is None
+        a = heap.journal.write_jsonl(tmp_path / "heap.jsonl")
+        b = calendar.journal.write_jsonl(tmp_path / "calendar.jsonl")
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_policy_events_present(self, serial_policy_telemetry):
+        journal = serial_policy_telemetry.journal
+        # Adaptive policies journal their decisions; reflection also
+        # journals the reflect edges and the stage-two traceback.
+        assert journal.find("attack_policy")
+        hops = journal.find("reflect_hop")
+        assert hops and all(e.attrs["gain"] >= 1 for e in hops)
+        traces = journal.find("reflector_traceback")
+        assert traces and all(e.attrs["sources"] for e in traces)

@@ -1,0 +1,86 @@
+"""Legacy-equivalence: policy refactor changed zero journal bytes.
+
+``tests/fixtures/journals/continuous.jsonl`` and ``onoff.jsonl`` were
+generated *before* the attacker code was refactored onto the
+:class:`~repro.traffic.policies.AttackerPolicy` interface; replaying
+the same scenarios through the policy layer must reproduce them
+byte-for-byte.  Any drift here means the refactor perturbed an RNG
+draw or event ordering on the seed path — the one thing the policy
+subsystem promised not to do.
+
+``follower.jsonl`` is different: it was pinned *after* the
+``FollowerAttackHost`` stop()/restart fix (a deliberate behavior
+change — the pre-fix bot leaked a stale start event and a poll timer),
+so it guards the policy-layer follower against future drift rather
+than proving pre-refactor identity.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_many
+from repro.experiments.scenarios import TreeScenarioParams
+from repro.obs import Telemetry
+
+FIXTURES = Path(__file__).parent / "fixtures" / "journals"
+
+TINY = TreeScenarioParams(
+    n_leaves=12,
+    n_attackers=3,
+    duration=12.0,
+    attack_start=2.0,
+    attack_end=10.0,
+    epoch_len=4.0,
+)
+
+LEGACY_POINTS = {
+    "legacy/continuous": (replace(TINY, seed=11), "continuous.jsonl"),
+    "legacy/onoff": (
+        replace(TINY, seed=13, attacker_policy="onoff", t_on=1.5, t_off=1.0),
+        "onoff.jsonl",
+    ),
+    "legacy/follower": (
+        replace(TINY, seed=17, attacker_policy="follower"),
+        "follower.jsonl",
+    ),
+}
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("name", sorted(LEGACY_POINTS))
+    def test_journal_bytes_unchanged(self, name, tmp_path):
+        params, fixture = LEGACY_POINTS[name]
+        telemetry = Telemetry()
+        run_many({name: params}, telemetry=telemetry)
+        out = tmp_path / fixture
+        telemetry.journal.write_jsonl(out)
+        expected = (FIXTURES / fixture).read_bytes()
+        got = out.read_bytes()
+        assert got == expected, (
+            f"{name}: journal drifted from the committed fixture "
+            f"({len(got)} vs {len(expected)} bytes). The policy layer must "
+            f"replay the seed attacker draw-for-draw; if this change is "
+            f"intentional (it almost never is), regenerate "
+            f"tests/fixtures/journals/{fixture}."
+        )
+
+    def test_fixtures_are_nonempty(self):
+        # Guard against a silently-truncated fixture making the byte
+        # comparison vacuous.
+        for _, fixture in LEGACY_POINTS.values():
+            data = (FIXTURES / fixture).read_bytes()
+            assert data.count(b"\n") > 20, f"{fixture} looks truncated"
+
+    def test_onoff_alias_of_continuous_with_bursts(self):
+        # "onoff" is continuous with bursts defaulted: explicit t_on/t_off
+        # must produce the identical journal under either name.
+        a, b = Telemetry(), Telemetry()
+        p_on = replace(TINY, seed=13, attacker_policy="onoff", t_on=1.5, t_off=1.0)
+        p_cont = replace(p_on, attacker_policy="continuous")
+        run_many({"x": p_on}, telemetry=a)
+        run_many({"x": p_cont}, telemetry=b)
+        ea = [e.as_dict() for e in a.journal.events]
+        eb = [e.as_dict() for e in b.journal.events]
+        assert ea == eb

@@ -233,6 +233,64 @@ class TestFollowerAttackHost:
         with pytest.raises(ValueError):
             FollowerAttackHost(sim, src, 1, 8000, -1.0, lambda: False)
 
+    def test_stop_before_begin_cancels_pending_start(self):
+        # Regression: stop() called before the scheduled _begin fired
+        # used to leave the start event queued — the bot would come
+        # alive after being told to stop.
+        sim, src, dst = make_host_pair()
+        fol = FollowerAttackHost(
+            sim, src, 1, rate_bps=8000,
+            d_follow=0.5, is_target_honeypot=lambda: False,
+            poll_interval=0.1, packet_size=100,
+        )
+        fol.start(at=2.0)
+        sim.run(until=1.0)
+        fol.stop()
+        sim.run(until=5.0)
+        assert fol.packets_sent == 0
+        assert sim.pending(live=True) == 0
+
+    def test_stop_before_begin_then_restart_no_duplicate_poll(self):
+        # Regression: the stale _begin from before the stop() fired on
+        # restart as a *second* begin, arming a duplicate poll timer
+        # (roughly doubling poll frequency forever after).
+        sim, src, dst = make_host_pair()
+        polls = {"n": 0}
+
+        def probe():
+            polls["n"] += 1
+            return False
+
+        fol = FollowerAttackHost(
+            sim, src, 1, rate_bps=8000,
+            d_follow=0.5, is_target_honeypot=probe,
+            poll_interval=0.1, packet_size=100,
+        )
+        fol.start(at=2.0)
+        sim.run(until=1.0)
+        fol.stop()
+        fol.start(at=2.0)
+        sim.run(until=5.0)
+        # One timer polls ~30 times over [2, 5] at 0.1 s; a duplicate
+        # would roughly double that.
+        assert polls["n"] <= 35
+
+    def test_stop_after_begin_drains_poll_timer(self):
+        # Regression: stop() after the bot was live never cancelled the
+        # poll timer, which re-armed itself forever and kept the
+        # simulator's event queue from draining.
+        sim, src, dst = make_host_pair()
+        fol = FollowerAttackHost(
+            sim, src, 1, rate_bps=8000,
+            d_follow=0.5, is_target_honeypot=lambda: False,
+            poll_interval=0.1, packet_size=100,
+        )
+        fol.start(at=0.0)
+        sim.run(until=1.0)
+        fol.stop()
+        sim.run(until=2.0)  # drain in-flight link deliveries
+        assert sim.pending(live=True) == 0
+
 
 class TestClients:
     def make_roaming(self):
