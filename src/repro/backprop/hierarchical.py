@@ -177,8 +177,12 @@ class HierarchicalBackprop:
         # asn -> "as_session_open" journal event (telemetry only).
         self._as_journal: Dict[int, object] = {}
         # 1-based epochs during which the server acts as a honeypot;
-        # None = every epoch (single-server teaching setup).
-        self.honeypot_epochs = honeypot_epochs
+        # None = every epoch (single-server teaching setup).  Copied so
+        # the schedule can't change under us if the caller reuses the
+        # list (shard-safety invariant RPL103).
+        self.honeypot_epochs = (
+            list(honeypot_epochs) if honeypot_epochs is not None else None
+        )
         self.config = config or IntraASConfig()
         self.keyring = KeyRing()
         for a, b in topo.as_graph.edges:

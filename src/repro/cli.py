@@ -224,13 +224,58 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p = sub.add_parser(
         "lint",
         help="statically check the determinism & reproducibility "
-        "invariants (reprolint rules RPL001-RPL005)",
+        "invariants (per-file rules RPL001-005, whole-program passes "
+        "RPL1xx/2xx/3xx via --project)",
     )
     lint_p.add_argument(
         "paths",
         nargs="*",
         default=["src"],
         help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--project",
+        nargs="?",
+        const="src",
+        default=None,
+        metavar="ROOT",
+        help="also run the whole-program passes over ROOT (default: src)",
+    )
+    lint_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse the project with N worker processes",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format: human-readable text or SARIF 2.1.0",
+    )
+    lint_p.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in this baseline; stale "
+        "entries fail the run",
+    )
+    lint_p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline FILE and exit 0",
+    )
+    lint_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a one-line summary (files, findings per rule)",
     )
     lint_p.add_argument(
         "--list-rules",
@@ -472,6 +517,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .lint.runner import main as lint_main
 
         argv_lint = list(args.paths)
+        if args.project is not None:
+            argv_lint += ["--project", args.project]
+        if args.jobs is not None:
+            argv_lint += ["--jobs", str(args.jobs)]
+        if args.format != "text":
+            argv_lint += ["--format", args.format]
+        if args.output is not None:
+            argv_lint += ["--output", args.output]
+        if args.baseline is not None:
+            argv_lint += ["--baseline", args.baseline]
+        if args.write_baseline:
+            argv_lint.append("--write-baseline")
+        if args.stats:
+            argv_lint.append("--stats")
         if args.list_rules:
             argv_lint.append("--list-rules")
         return lint_main(argv_lint)

@@ -10,7 +10,9 @@ never passes through ``PYTHONHASHSEED``-dependent ``hash()``.
 
 This package makes those conventions machine-checked.  It is a
 standalone static-analysis pass over Python source (stdlib :mod:`ast`
-only, no third-party dependencies) with one rule per invariant:
+only, no third-party dependencies) at two granularities.
+
+Per-file rules, one per invariant:
 
 ========  ==========================================================
  Code      Invariant
@@ -25,29 +27,72 @@ only, no third-party dependencies) with one rule per invariant:
  RPL005    no mutable default arguments
 ========  ==========================================================
 
+Whole-program passes (``repro lint --project``) over the loaded
+:class:`~repro.lint.project.Project` — import graph, symbol table and
+the handler call graph (:mod:`repro.lint.callgraph`):
+
+========  ==========================================================
+ Family    Invariant (see :mod:`repro.lint.passes`)
+========  ==========================================================
+ RPL1xx    shard-safety: no event handler reaches shared mutable
+           state (module globals, class attributes, captured
+           containers) — the static precondition for partitioning
+           one scenario across worker shards
+ RPL2xx    RNG-stream registry: stream names are literal, unique
+           across modules, and drawn from seeded registries
+ RPL3xx    journal/telemetry schema: emitted journal kinds and the
+           ``JOURNAL_KINDS`` table agree in both directions; one
+           metric name maps to one instrument type
+========  ==========================================================
+
 Diagnostics can be suppressed per line with ``# reprolint:
 ignore[RPL001]`` (optionally ``-- reason``); file-level exemptions
-with a documented rationale live in :mod:`repro.lint.whitelist`.
+with a documented rationale live in :mod:`repro.lint.whitelist`;
+accepted pre-existing findings live in a checked-in baseline
+(:mod:`repro.lint.baseline`).  ``--format sarif`` emits SARIF 2.1.0
+(:mod:`repro.lint.sarif`) for GitHub code scanning.
 
-Run it as ``repro lint [paths...]`` or ``python -m repro lint``; the
-suite's meta-test asserts the repo itself stays clean.
+Run it as ``repro lint [paths...] [--project]`` or ``python -m repro
+lint``; the suite's meta-tests assert the repo itself stays clean at
+both granularities.
 """
 
 from __future__ import annotations
 
+from .baseline import BASELINE_SCHEMA, apply_baseline, load_baseline
 from .diagnostics import Diagnostic
+from .passes import ALL_PROJECT_RULES
+from .project import Project, ProjectRule
 from .rules import ALL_RULES, Rule
-from .runner import lint_file, lint_paths, lint_source, main
+from .runner import (
+    lint_file,
+    lint_paths,
+    lint_project,
+    lint_source,
+    main,
+    project_pass_diagnostics,
+)
+from .sarif import render_sarif, to_sarif
 from .whitelist import WHITELIST, whitelisted_reason
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
+    "BASELINE_SCHEMA",
     "Diagnostic",
+    "Project",
+    "ProjectRule",
     "Rule",
     "WHITELIST",
+    "apply_baseline",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
     "main",
+    "project_pass_diagnostics",
+    "render_sarif",
+    "to_sarif",
     "whitelisted_reason",
 ]

@@ -1,0 +1,122 @@
+"""Baseline file: land new rules strict-for-new-code.
+
+A baseline is a checked-in JSON artifact (``repro.lint-baseline/1``)
+listing *accepted pre-existing* findings.  With ``--baseline FILE``:
+
+* a diagnostic matching a baseline entry is suppressed (exit 0);
+* a diagnostic *not* in the baseline fails the run (exit 1) — new
+  code meets the bar immediately;
+* a baseline entry that no longer matches any diagnostic is **drift**
+  and also fails the run — fixed findings must leave the baseline, so
+  it only ever shrinks.
+
+Every entry carries a mandatory human ``reason``; loading rejects
+entries without one, mirroring the whitelist contract.  Matching is by
+``(path, code, message)`` — line numbers shift too easily to key on.
+Regenerate with ``repro lint --project --write-baseline`` after
+auditing that every surviving entry is intentional.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+#: Matching key of one accepted finding.
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad schema, missing reason, ...)."""
+
+
+def load_baseline(path: Path) -> Dict[_Key, str]:
+    """Load and validate a baseline; returns ``{(path, code, message): reason}``."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    out: Dict[_Key, str] = {}
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: entries[{i}] is not an object")
+        missing = {"path", "code", "message", "reason"} - set(entry)
+        if missing:
+            raise BaselineError(
+                f"{path}: entries[{i}] missing {sorted(missing)}"
+            )
+        reason = entry["reason"]
+        if not isinstance(reason, str) or not reason.strip():
+            raise BaselineError(
+                f"{path}: entries[{i}] ({entry['code']} @ {entry['path']}) "
+                f"has an empty reason — every accepted finding needs one"
+            )
+        out[(entry["path"], entry["code"], entry["message"])] = reason
+    return out
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Dict[_Key, str]
+) -> Tuple[List[Diagnostic], List[Diagnostic], List[_Key]]:
+    """Split diagnostics against a baseline.
+
+    Returns ``(new, accepted, stale)``: findings not in the baseline,
+    findings the baseline suppresses, and baseline keys that matched
+    nothing (drift — the finding was fixed but the entry remains).
+    """
+    new: List[Diagnostic] = []
+    accepted: List[Diagnostic] = []
+    matched: set = set()
+    for diag in diagnostics:
+        key = (diag.path, diag.code, diag.message)
+        if key in baseline:
+            accepted.append(diag)
+            matched.add(key)
+        else:
+            new.append(diag)
+    stale = [key for key in baseline if key not in matched]
+    return new, accepted, sorted(stale)
+
+
+def write_baseline(
+    path: Path, diagnostics: Sequence[Diagnostic], reason: str
+) -> None:
+    """Write the current findings as a fresh baseline (one shared reason)."""
+    seen: set = set()
+    entries = []
+    for diag in sorted(diagnostics):
+        key = (diag.path, diag.code, diag.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "path": diag.path,
+                "code": diag.code,
+                "message": diag.message,
+                "reason": reason,
+            }
+        )
+    doc = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

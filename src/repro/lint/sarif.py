@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 emitter for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS 2.1.0) is the
+format GitHub code scanning ingests; emitting it lets the CI
+``static-analysis`` job surface reprolint findings as inline PR
+annotations via ``github/codeql-action/upload-sarif``.
+
+The emitter maps each :class:`~repro.lint.diagnostics.Diagnostic` to a
+``result`` with a ``physicalLocation``, and publishes every rule's
+metadata (name, rationale) in the tool's ``rules`` array so the code
+scanning UI can render per-rule help.  Output is fully deterministic:
+results arrive pre-sorted from the runner and rule metadata is sorted
+by rule id, so two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool identity published in every run object.
+_TOOL_NAME = "reprolint"
+_TOOL_URI = "https://github.com/"  # repo-relative; overridden by upload step
+
+
+def _rule_metadata(rules: Sequence[object]) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    seen = set()
+    for rule in rules:
+        code = getattr(rule, "code", "")
+        if not code or code in seen:
+            continue
+        seen.add(code)
+        out.append(
+            {
+                "id": code,
+                "name": getattr(rule, "name", code),
+                "shortDescription": {"text": getattr(rule, "name", code)},
+                "fullDescription": {"text": getattr(rule, "rationale", "")},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return sorted(out, key=lambda r: str(r["id"]))
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[object],
+    tool_version: str = "2",
+) -> Dict[str, object]:
+    """Build the SARIF log object (plain dict, json-serializable)."""
+    rule_ids = [str(meta["id"]) for meta in _rule_metadata(rules)]
+    index = {code: i for i, code in enumerate(rule_ids)}
+    results: List[Dict[str, object]] = []
+    for diag in diagnostics:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.code in index:
+            result["ruleIndex"] = index[diag.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": _TOOL_URI,
+                        "rules": _rule_metadata(rules),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[object],
+    tool_version: str = "2",
+) -> str:
+    """Deterministic SARIF text (sorted keys, trailing newline)."""
+    doc = to_sarif(diagnostics, rules, tool_version=tool_version)
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

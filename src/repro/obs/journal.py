@@ -36,6 +36,7 @@ import os
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 __all__ = [
+    "JOURNAL_KINDS",
     "JOURNAL_SCHEMA",
     "Journal",
     "JournalError",
@@ -49,6 +50,39 @@ __all__ = [
 ]
 
 JOURNAL_SCHEMA = "repro.journal/1"
+
+# The closed vocabulary of ``repro.journal/1`` event kinds.  Replay and
+# report tooling treat this table as the schema: every kind any module
+# emits must appear here, and every entry must be emitted somewhere —
+# reprolint's whole-program RPL301/RPL302 passes enforce both
+# directions statically, so the vocabulary can't silently drift.
+JOURNAL_KINDS: Dict[str, str] = {
+    "as_session_close": "hierarchical back-propagation leaves an AS",
+    "as_session_open": "hierarchical back-propagation enters an AS",
+    "attack_policy": "adversary policy chosen for a zombie at spawn",
+    "epoch_roll": "honeypot role schedule advances one epoch",
+    "frontier_add": "progressive scheme adds an AS to the frontier",
+    "frontier_flag": "progressive scheme flags a frontier AS as attacking",
+    "frontier_report": "server reports the frontier to the HSM",
+    "frontier_retire": "progressive scheme retires a cleared frontier AS",
+    "honeypot_hit": "packet reaches a server acting as honeypot",
+    "hop_relay": "intra-AS input debugging relays one router hop",
+    "hsm_diversion": "HSM diverts the victim's traffic for traceback",
+    "ingress_identified": "ingress edge router identified for a flow",
+    "inter_as_hop": "traceback crosses one AS-level hop",
+    "intra_session_close": "intra-AS traceback session closes",
+    "intra_session_open": "intra-AS traceback session opens",
+    "pool_task_finish": "parallel pool worker finishes a task",
+    "pool_task_start": "parallel pool worker starts a task",
+    "port_close": "router closes the attacking ingress port",
+    "progressive_resume": "progressive scheme resumes suspended traffic",
+    "reflect_hop": "amplifier reflects a spoofed request to the victim",
+    "reflector_traceback": "traceback resolves a reflection attack's origin",
+    "session_close": "honeypot traceback session closes",
+    "session_open": "honeypot traceback session opens",
+    "sim_run_end": "simulation run ends",
+    "sim_run_start": "simulation run starts",
+}
 
 
 class JournalError(ValueError):
@@ -72,7 +106,9 @@ class JournalEvent:
         self.name = name
         self.time = time
         self.parent_id = parent_id
-        self.attrs = attrs
+        # Defensive copy: the caller's kwargs dict must not alias the
+        # recorded event (shard-safety invariant RPL103).
+        self.attrs = dict(attrs)
 
     def as_dict(self) -> Dict[str, Any]:
         return {

@@ -43,7 +43,9 @@ class Span:
         self.start = start
         self.end: Optional[float] = None
         self.parent_id = parent_id
-        self.attrs = attrs
+        # Defensive copy: the caller's kwargs dict must not alias the
+        # recorded span (shard-safety invariant RPL103).
+        self.attrs = dict(attrs)
 
     @property
     def duration(self) -> Optional[float]:

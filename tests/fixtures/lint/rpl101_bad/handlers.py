@@ -1,0 +1,23 @@
+"""Fixture: event handlers writing module state (2 expected RPL101)."""
+
+from .state import REGISTRY
+
+TICKS = 0
+
+
+class App:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self):
+        self.sim.schedule(1.0, self._on_tick)
+
+    def _on_tick(self):
+        global TICKS
+        TICKS += 1  # bad: handler rebinds a module global
+        self._note()
+
+    def _note(self):
+        # bad: transitively handler-reachable, mutates another
+        # module's container
+        REGISTRY["last"] = TICKS

@@ -1,0 +1,3 @@
+"""Fixture: module-level mutable state another module's handler mutates."""
+
+REGISTRY = {}

@@ -1,0 +1,20 @@
+"""Fixture: handlers keep their state on the instance (0 RPL101)."""
+
+from .state import REGISTRY
+
+
+class App:
+    def __init__(self, sim):
+        self.sim = sim
+        self.ticks = 0
+        self.factories = dict(REGISTRY)  # read-only snapshot
+
+    def start(self):
+        self.sim.schedule(1.0, self._on_tick)
+
+    def _on_tick(self):
+        self.ticks += 1  # fine: instance state
+        self._note()
+
+    def _note(self):
+        self.last = self.ticks

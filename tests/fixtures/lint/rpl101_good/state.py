@@ -1,0 +1,8 @@
+"""Fixture: module table populated only at import/setup time."""
+
+REGISTRY = {}
+
+
+def register(name, factory):
+    # fine: not reachable from any scheduled handler
+    REGISTRY[name] = factory

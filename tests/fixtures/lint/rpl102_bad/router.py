@@ -1,0 +1,13 @@
+"""Fixture: class-level shared state (3 expected RPL102)."""
+
+
+class Router:
+    cache = {}  # bad: one dict shared by every Router instance
+
+    def remember(self, key, value):
+        Router.last_key = key  # bad: write through the class object
+        self.cache[key] = value
+
+    @classmethod
+    def configure(cls, limit):
+        cls.limit = limit  # bad: write through cls

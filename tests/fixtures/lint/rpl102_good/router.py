@@ -1,0 +1,14 @@
+"""Fixture: per-instance state, immutable class constants (0 RPL102)."""
+
+
+class Router:
+    SUPPORTED = ("udp", "tcp")  # fine: immutable class constant
+    DEFAULT_LIMIT = 64
+
+    def __init__(self):
+        self.cache = {}  # fine: per-instance container
+        self.last_key = None
+
+    def remember(self, key, value):
+        self.last_key = key
+        self.cache[key] = value

@@ -1,0 +1,13 @@
+"""Fixture: __init__ captures mutable parameters (2 expected RPL103)."""
+
+from typing import Dict, List, Optional
+
+
+class Pipeline:
+    def __init__(
+        self,
+        stages: List[str],
+        options: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.stages = stages  # bad: aliases the caller's list
+        self.options = options  # bad: aliases through Optional[Dict]

@@ -1,0 +1,15 @@
+"""Fixture: __init__ copies mutable parameters (0 RPL103)."""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Pipeline:
+    def __init__(
+        self,
+        stages: List[str],
+        options: Optional[Dict[str, int]] = None,
+        tags: Tuple[str, ...] = (),
+    ) -> None:
+        self.stages = list(stages)  # fine: defensive copy
+        self.options = dict(options or {})  # fine: defensive copy
+        self.tags = tags  # fine: tuples are immutable

@@ -1,0 +1,6 @@
+"""Fixture: stream name also claimed by traffic.py (1 of 2 RPL201)."""
+
+
+def wire(reg, n):
+    rng = reg.stream("shared-stream")
+    return [rng.integers(0, n) for _ in range(n)]

@@ -1,0 +1,5 @@
+"""Fixture: stream name also claimed by topology.py (1 of 2 RPL201)."""
+
+
+def jitter(reg):
+    return reg.stream("shared-stream").random()

@@ -1,0 +1,6 @@
+"""Fixture: module-unique stream names (0 RPL201)."""
+
+
+def wire(reg, n):
+    rng = reg.stream("topology")
+    return [rng.integers(0, n) for _ in range(n)]

@@ -1,0 +1,8 @@
+"""Fixture: module-unique stream names (0 RPL201)."""
+
+
+def jitter(reg):
+    # Reusing a name *within* one module is fine: same stream object.
+    a = reg.stream("traffic-jitter").random()
+    b = reg.stream("traffic-jitter").random()
+    return a + b

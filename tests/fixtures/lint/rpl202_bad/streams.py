@@ -1,0 +1,9 @@
+"""Fixture: dynamic stream names (2 expected RPL202)."""
+
+
+def make(reg, name):
+    return reg.stream(name)  # bad: name decided at runtime
+
+
+def seed_for(derive_seed, seed, index):
+    return derive_seed(seed, f"run-{index}")  # bad: f-string name

@@ -1,0 +1,9 @@
+"""Fixture: literal stream names only (0 RPL202)."""
+
+
+def make(reg):
+    return reg.stream("attack-arrivals")
+
+
+def seed_for(derive_seed, seed):
+    return derive_seed(seed, "topology")

@@ -1,0 +1,12 @@
+"""Fixture: unseeded registries (2 expected RPL203)."""
+
+from .rng import RngRegistry
+from .rng import RngRegistry as Registry
+
+
+def build():
+    return RngRegistry()  # bad: implicit default seed
+
+
+def build_aliased():
+    return Registry()  # bad: alias doesn't hide the default seed

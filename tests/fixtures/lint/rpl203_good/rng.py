@@ -1,0 +1,6 @@
+"""Fixture: a registry class (stand-in for repro.sim.rng)."""
+
+
+class RngRegistry:
+    def __init__(self, master_seed=0):
+        self.master_seed = master_seed

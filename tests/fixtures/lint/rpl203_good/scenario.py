@@ -1,0 +1,12 @@
+"""Fixture: registries seeded explicitly (0 RPL203)."""
+
+from .rng import RngRegistry
+from .rng import RngRegistry as Registry
+
+
+def build(seed):
+    return RngRegistry(seed)
+
+
+def build_aliased():
+    return Registry(master_seed=7)

@@ -1,0 +1,13 @@
+"""Fixture: emits a kind missing from the table (1 expected RPL301)."""
+
+
+class Tracker:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def open_session(self, sid):
+        self.journal.record("session_open", sid=sid)
+
+    def close_session(self, sid):
+        # bad: "session_close" is not in JOURNAL_KINDS
+        self.journal.record("session_close", sid=sid)

@@ -1,0 +1,5 @@
+"""Fixture: the schema table (stand-in for repro.obs.journal)."""
+
+JOURNAL_KINDS = {
+    "session_open": "traceback session opens",
+}

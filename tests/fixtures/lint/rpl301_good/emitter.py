@@ -1,0 +1,12 @@
+"""Fixture: every emitted kind is documented (0 RPL301)."""
+
+
+class Tracker:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def open_session(self, sid):
+        self.journal.record("session_open", sid=sid)
+
+    def close_session(self, sid):
+        self.journal.record("session_close", sid=sid)

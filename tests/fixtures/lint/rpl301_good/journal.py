@@ -1,0 +1,6 @@
+"""Fixture: the schema table (stand-in for repro.obs.journal)."""
+
+JOURNAL_KINDS = {
+    "session_close": "traceback session closes",
+    "session_open": "traceback session opens",
+}

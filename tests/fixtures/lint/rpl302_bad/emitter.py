@@ -1,0 +1,9 @@
+"""Fixture: emits only one of the two documented kinds."""
+
+
+class Tracker:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def note(self):
+        self.journal.record("real_kind")

@@ -1,0 +1,6 @@
+"""Fixture: table entry nothing emits (1 expected RPL302)."""
+
+JOURNAL_KINDS = {
+    "ghost_kind": "documented but never emitted",  # bad
+    "real_kind": "actually emitted by emitter.py",
+}

@@ -1,0 +1,9 @@
+"""Fixture: emits the documented kind."""
+
+
+class Tracker:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def note(self):
+        self.journal.record("real_kind")

@@ -1,0 +1,5 @@
+"""Fixture: every table entry has an emitter (0 RPL302)."""
+
+JOURNAL_KINDS = {
+    "real_kind": "actually emitted by emitter.py",
+}

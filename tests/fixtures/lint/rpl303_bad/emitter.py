@@ -1,0 +1,13 @@
+"""Fixture: dynamic journal kind (1 expected RPL303)."""
+
+JOURNAL_KINDS = {
+    "session_open": "traceback session opens",
+}
+
+
+class Tracker:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def note(self, kind):
+        self.journal.record(kind)  # bad: kind decided at runtime

@@ -1,0 +1,13 @@
+"""Fixture: literal journal kinds only (0 RPL303)."""
+
+JOURNAL_KINDS = {
+    "session_open": "traceback session opens",
+}
+
+
+class Tracker:
+    def __init__(self, journal):
+        self.journal = journal
+
+    def note(self):
+        self.journal.record("session_open")

@@ -1,0 +1,9 @@
+"""Fixture: one metric name, two instruments (2 expected RPL304)."""
+
+
+def count_hits(registry):
+    registry.counter("hits").inc()  # bad: "hits" also used as gauge
+
+
+def sample_hits(registry):
+    registry.gauge("hits").set(3)  # bad: "hits" also used as counter

@@ -1,0 +1,11 @@
+"""Fixture: one name per instrument type (0 RPL304)."""
+
+
+def count_hits(registry):
+    registry.counter("hits_total").inc()
+
+
+def sample_depth(registry):
+    # Same instrument type from two call sites is fine.
+    registry.gauge("queue_depth").set(3)
+    registry.gauge("queue_depth").set(4)
