@@ -22,6 +22,11 @@ Usage::
     python -m repro replay --check serial.jsonl pool.jsonl
     python -m repro report run.jsonl --html report.html
     python -m repro regress --summary benchmarks/out/summary.json
+    python -m repro kinds
+    python -m repro profile --scale quick --trace run.trace.json
+    python -m repro critical-path run.jsonl
+    python -m repro shardplan run.jsonl --by as --out plan.json
+    python -m repro report run.jsonl --critical --html report.html
 
 ``--metrics-out FILE`` on a figure command (and on ``stats`` and
 ``sweep``) attaches the :mod:`repro.obs` telemetry layer to the
@@ -49,6 +54,18 @@ as ASCII or a self-contained HTML timeline; ``regress`` compares a
 bench summary against the committed baseline with per-metric tolerance
 bands, records a ``BENCH_<n>.json`` trajectory point, and exits 0/1 —
 the CI regression gate.
+
+The performance-observability commands analyse the causal journal
+*after* the run ("profile the journal, not the run"): ``profile`` runs
+a scenario with per-dimension engine attribution (wall-time per
+callback kind × module × subtree shard), ``critical-path`` computes
+work/span/available-parallelism and explains what bounded each capture,
+``shardplan`` evaluates a candidate topology cut (per-shard load,
+cross-shard edges, conservative lookahead), ``kinds`` prints the
+``repro.journal/1`` event vocabulary, and ``--trace FILE`` on the
+analysis commands exports a Chrome trace-event JSON loadable in
+Perfetto (https://ui.perfetto.dev).  All journal-reading commands
+accept gzip-compressed ``*.jsonl.gz`` files transparently.
 
 ``--jobs N`` (or ``$REPRO_JOBS``) fans independent scenario runs out
 over the :mod:`repro.parallel` worker pool; results are identical to a
@@ -219,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the merged causal event journal as JSONL",
     )
+    w.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-dimension engine attribution on every instrumented "
+        "task; worker tables merge into the --metrics-out artifact "
+        "(implies instrumentation when set with --metrics-out)",
+    )
     _add_stream_dir_args(w)
 
     lint_p = sub.add_parser(
@@ -338,6 +362,136 @@ def build_parser() -> argparse.ArgumentParser:
         "when sim time crawls",
     )
 
+    pf = sub.add_parser(
+        "profile",
+        help="run a scenario with per-dimension engine attribution "
+        "(wall-time per callback kind x module x subtree shard)",
+    )
+    pf.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="quick",
+        help="workload scale of the profiled run",
+    )
+    pf.add_argument(
+        "--defense",
+        choices=("honeypot", "pushback", "none"),
+        default="honeypot",
+        help="defense configuration to profile",
+    )
+    _add_policy_args(pf)
+    pf.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar", "auto"),
+        default=None,
+        help="event-scheduler policy (default: $REPRO_SCHEDULER, "
+        "else auto); the journal is identical under all policies",
+    )
+    pf.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="attribution rows to print (default: 15)",
+    )
+    pf.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="also write the telemetry artifact (including the "
+        "per-dimension table) as JSON",
+    )
+    pf.add_argument(
+        "--journal-out",
+        metavar="FILE",
+        default=None,
+        help="also write the causal event journal as JSONL "
+        "(byte-identical to an unprofiled run; .gz compresses)",
+    )
+    pf.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export the run's journal as Chrome trace-event JSON "
+        "(open in Perfetto) with the critical path highlighted",
+    )
+
+    cp = sub.add_parser(
+        "critical-path",
+        help="work/span/available-parallelism over a journal's causal "
+        "tree, plus what bounded each capture",
+    )
+    cp.add_argument(
+        "journal",
+        metavar="JOURNAL",
+        help="journal JSONL file (.gz ok) or repro.obs/1 artifact JSON",
+    )
+    cp.add_argument(
+        "--target",
+        default="port_close",
+        metavar="KINDS",
+        help="comma-separated event kinds whose causal chains are "
+        "explained (default: port_close)",
+    )
+    cp.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        metavar="N",
+        help="slowest capture chains to print (default: 3)",
+    )
+    cp.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the repro.critical/1 report as JSON",
+    )
+    cp.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export a Chrome trace-event JSON (open in Perfetto) with "
+        "the critical path marked as category 'critical'",
+    )
+
+    sp = sub.add_parser(
+        "shardplan",
+        help="evaluate a candidate shard cut over a journal: load "
+        "balance, cross-shard edges, conservative-DES lookahead",
+    )
+    sp.add_argument(
+        "journal",
+        metavar="JOURNAL",
+        help="journal JSONL file (.gz ok) or repro.obs/1 artifact JSON",
+    )
+    sp.add_argument(
+        "--by",
+        default="as",
+        metavar="PARTITION",
+        help="partition mode: as, honeypot, router, or attr:<name> "
+        "(default: as); unattributed events inherit their causal "
+        "parent's shard",
+    )
+    sp.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the validated repro.shardplan/1 artifact as JSON",
+    )
+    sp.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export a Chrome trace-event JSON with each slice "
+        "labeled/categorized by its shard",
+    )
+
+    sub.add_parser(
+        "kinds",
+        help="print the repro.journal/1 event-kind vocabulary "
+        "(the closed schema gated by lint rules RPL301-302)",
+    )
+
     wt = sub.add_parser(
         "watch",
         help="live terminal view of a telemetry stream file or a pool "
@@ -428,6 +582,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="truncate the ASCII rendering after N events",
+    )
+    rep.add_argument(
+        "--critical",
+        action="store_true",
+        help="highlight the time-weighted critical path (ASCII mode "
+        "prepends the work/span summary; HTML mode accents the chain)",
     )
 
     g = sub.add_parser(
@@ -542,6 +702,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_report_command(args)
     if args.command == "regress":
         return _run_regress_command(args)
+    if args.command == "profile":
+        return _run_profile_command(args)
+    if args.command == "critical-path":
+        return _run_critical_command(args)
+    if args.command == "shardplan":
+        return _run_shardplan_command(args)
+    if args.command == "kinds":
+        return _run_kinds_command()
     if args.command == "watch":
         from .obs.watch import watch_follow, watch_once
 
@@ -739,7 +907,7 @@ def _run_sweep_command(args) -> int:
     )
     checkpoint = SweepCheckpoint(args.checkpoint) if args.checkpoint else None
     telemetry = None
-    if args.metrics_out or args.journal_out:
+    if args.metrics_out or args.journal_out or args.profile:
         from .obs import Telemetry
 
         telemetry = Telemetry()
@@ -762,6 +930,7 @@ def _run_sweep_command(args) -> int:
         on_outcome=progress,
         telemetry=telemetry,
         stream=_stream_spec(args),
+        profile=args.profile,
     )
     path = write_json(args.out, run.artifact()) if args.out else None
     metrics_path = (
@@ -779,6 +948,10 @@ def _run_sweep_command(args) -> int:
         for task_id in run.report.quarantined:
             err = (run.report.outcomes[task_id].error or "").splitlines()[0]
             print(f"QUARANTINED {task_id}: {err}")
+        if args.profile and telemetry is not None:
+            table = telemetry.profiler.render_dimensions()
+            if table:
+                print(table)
         if path:
             print(f"sweep artifact written to {path}")
         if metrics_path:
@@ -835,18 +1008,187 @@ def _run_report_command(args) -> int:
     except JournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.html:
+    critical = None
+    if args.critical:
+        from .obs.critical import critical_report
+
+        critical = critical_report(journal)
+    highlight = (
+        [step["id"] for step in critical["critical_path"]]
+        if critical is not None
+        else ()
+    )
+    if args.html:  # artifact lands before any print (| head survives)
         import os
 
         parent = os.path.dirname(args.html)
         if parent:
             os.makedirs(parent, exist_ok=True)
         with open(args.html, "w", encoding="utf-8") as fh:
-            fh.write(render_html(journal, title=args.title))
-        print(f"HTML report written to {args.html}")
-        return 0
+            fh.write(render_html(journal, title=args.title, highlight=highlight))
     try:
+        if critical is not None:
+            from .obs.critical import render_critical
+
+            print(render_critical(critical, top=0))
+        if args.html:
+            print(f"HTML report written to {args.html}")
+            return 0
         print(render_tree(journal, max_events=args.max_events))
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _export_trace(
+    journal, path: str, critical=None, shards=None
+) -> str:
+    """Write a Perfetto-loadable trace for ``journal`` (helper shared by
+    the profile/critical-path/shardplan commands)."""
+    from .obs.traceexport import journal_to_trace, write_trace
+
+    critical_ids = (
+        [step["id"] for step in critical["critical_path"]]
+        if critical is not None
+        else ()
+    )
+    return write_trace(
+        path,
+        journal_to_trace(journal, critical_ids=critical_ids, shards=shards),
+    )
+
+
+def _run_profile_command(args) -> int:
+    from dataclasses import replace
+
+    from .experiments.figures import _scenario_base
+    from .experiments.scenarios import run_tree_scenario
+    from .obs import Telemetry
+
+    telemetry = Telemetry()
+    params = _apply_policy_args(
+        replace(_scenario_base(args.scale, args.scheduler), defense=args.defense),
+        args,
+    )
+    result = run_tree_scenario(params, telemetry=telemetry, profile=True)
+    path = telemetry.write(args.metrics_out) if args.metrics_out else None
+    journal_path = _write_journal(telemetry, args.journal_out)
+    trace_path = None
+    if args.trace:
+        from .obs.critical import critical_report
+        from .obs.shardplan import assign_shards
+
+        trace_path = _export_trace(
+            telemetry.journal,
+            args.trace,
+            critical=critical_report(telemetry.journal),
+            shards=assign_shards(telemetry.journal),
+        )
+    try:
+        print(telemetry.render_engine_profile())
+        table = telemetry.profiler.render_dimensions(top=args.top)
+        if table:
+            print(table)
+        print(
+            f"legit throughput during attack: "
+            f"{result.legit_pct_during_attack:.1f}% of bottleneck"
+        )
+        if path:
+            print(f"telemetry artifact written to {path}")
+        if journal_path:
+            print(f"journal written to {journal_path}")
+        if trace_path:
+            print(f"Perfetto trace written to {trace_path}")
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _run_critical_command(args) -> int:
+    from .obs.critical import critical_report, render_critical
+    from .obs.journal import JournalError, load_journal
+
+    try:
+        journal = load_journal(args.journal)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    targets = [t.strip() for t in args.target.split(",") if t.strip()]
+    try:
+        report = critical_report(journal, targets=targets)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    json_path = None
+    if args.json:
+        from .obs.export import write_json
+
+        json_path = write_json(args.json, report)
+    trace_path = (
+        _export_trace(journal, args.trace, critical=report)
+        if args.trace
+        else None
+    )
+    try:
+        print(render_critical(report, top=args.top))
+        if json_path:
+            print(f"critical-path report written to {json_path}")
+        if trace_path:
+            print(f"Perfetto trace written to {trace_path}")
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _run_shardplan_command(args) -> int:
+    from .obs.journal import JournalError, load_journal
+    from .obs.shardplan import (
+        ShardPlanError,
+        assign_shards,
+        render_shardplan,
+        shard_plan,
+        validate_shardplan,
+    )
+
+    try:
+        journal = load_journal(args.journal)
+        plan = shard_plan(journal, by=args.by)
+    except (JournalError, ShardPlanError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    validate_shardplan(plan)  # the emitted artifact is always valid
+    out_path = None
+    if args.out:
+        from .obs.export import write_json
+
+        out_path = write_json(args.out, plan)
+    trace_path = None
+    if args.trace:
+        trace_path = _export_trace(
+            journal, args.trace, shards=assign_shards(journal, by=args.by)
+        )
+    try:
+        print(render_shardplan(plan))
+        if out_path:
+            print(f"shardplan artifact written to {out_path}")
+        if trace_path:
+            print(f"Perfetto trace written to {trace_path}")
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _run_kinds_command() -> int:
+    from .obs.journal import JOURNAL_KINDS, JOURNAL_SCHEMA
+
+    try:
+        print(
+            f"{JOURNAL_SCHEMA} event kinds ({len(JOURNAL_KINDS)}; the "
+            "closed vocabulary enforced by lint rules RPL301-302):"
+        )
+        width = max(len(kind) for kind in JOURNAL_KINDS)
+        for kind in sorted(JOURNAL_KINDS):
+            print(f"  {kind:<{width}}  {JOURNAL_KINDS[kind]}")
     except BrokenPipeError:
         pass
     return 0

@@ -147,7 +147,12 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     stream = _stream_config_for(
         payload.get("stream"), str(payload.get("task") or "run")
     )
-    result = run_tree_scenario(params, telemetry=telemetry, stream=stream)
+    result = run_tree_scenario(
+        params,
+        telemetry=telemetry,
+        stream=stream,
+        profile=bool(payload.get("profile")) and telemetry is not None,
+    )
     if telemetry is not None:
         telemetry.journal.record("pool_task_finish", task=payload.get("task"))
     return {
@@ -161,6 +166,7 @@ def _scenario_tasks(
     instrument: Callable[[Any], bool],
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]],
     stream: Optional[Dict[str, Any]] = None,
+    profile: bool = False,
 ) -> List[Task]:
     return [
         Task(
@@ -171,6 +177,7 @@ def _scenario_tasks(
                 "telemetry": bool(instrument(key)),
                 "task": str(key),
                 "stream": stream,
+                "profile": profile,
             },
         )
         for key, params in named_params
@@ -193,6 +200,7 @@ def run_many(
     telemetry: Any = None,
     instrument: Optional[Callable[[Any], bool]] = None,
     stream: Optional[Dict[str, Any]] = None,
+    profile: bool = False,
 ) -> Dict[Any, TreeScenarioResult]:
     """Run several named scenarios, serially or on the pool.
 
@@ -202,8 +210,12 @@ def run_many(
     identical to a serial instrumented run.  ``stream`` (a
     ``{"dir", "interval", "wall_cap"}`` dict) arms one live telemetry
     stream per run under ``dir`` — on the pool the supervisor also
-    maintains the merged ``pool.status.json`` view there.  Raises if
-    any run is quarantined — figures need every cell.
+    maintains the merged ``pool.status.json`` view there.
+    ``profile=True`` enables per-dimension engine attribution on every
+    instrumented run; worker dimension tables merge into ``telemetry``
+    alongside the scalar engine counters, so a pooled sweep aggregates
+    per-task profiles exactly like a serial one.  Raises if any run is
+    quarantined — figures need every cell.
     """
     if instrument is None:
         instrument = lambda key: telemetry is not None
@@ -220,6 +232,7 @@ def run_many(
                 params,
                 telemetry=run_telemetry,
                 stream=_stream_config_for(stream, str(key)),
+                profile=profile and run_telemetry is not None,
             )
             if run_telemetry is not None:
                 run_telemetry.journal.record("pool_task_finish", task=str(key))
@@ -229,6 +242,7 @@ def run_many(
         instrument if telemetry is not None else (lambda key: False),
         run_scenario_task,
         stream=stream,
+        profile=profile,
     )
     config = pool_config or PoolConfig(jobs=jobs)
     if stream and config.status_dir is None:
@@ -292,6 +306,7 @@ def plan_sweep_tasks(
     task_fn: Callable[[Dict[str, Any]], Dict[str, Any]] = run_scenario_task,
     telemetry: bool = False,
     stream: Optional[Dict[str, Any]] = None,
+    profile: bool = False,
 ) -> List[Task]:
     """One task per (value, seed) pair, under stable ids.
 
@@ -299,7 +314,9 @@ def plan_sweep_tasks(
     worker — so checkpoints match across runs and duplicate (value,
     seed) pairs are rejected by the pool.  ``telemetry=True`` makes
     every worker build and ship back a telemetry artifact; ``stream``
-    arms one live per-task telemetry stream under its ``dir``.
+    arms one live per-task telemetry stream under its ``dir``;
+    ``profile=True`` adds per-dimension engine attribution to each
+    instrumented task's artifact.
     """
     if not hasattr(base, field_name):
         raise ValueError(f"unknown sweep field {field_name!r}")
@@ -312,6 +329,7 @@ def plan_sweep_tasks(
                 "telemetry": telemetry,
                 "task": f"{field_name}={v!r}/seed={int(s)}",
                 "stream": stream,
+                "profile": profile,
             },
         )
         for v in values
@@ -372,6 +390,7 @@ def run_sweep(
     on_outcome: Optional[Callable[[Any], None]] = None,
     telemetry: Any = None,
     stream: Optional[Dict[str, Any]] = None,
+    profile: bool = False,
 ) -> SweepRun:
     """Sweep one parameter over the pool; quarantine-tolerant.
 
@@ -395,6 +414,7 @@ def run_sweep(
         task_fn=task_fn,
         telemetry=telemetry is not None,
         stream=stream,
+        profile=profile,
     )
     config = pool_config or PoolConfig(jobs=resolve_jobs(jobs))
     if stream and config.status_dir is None:

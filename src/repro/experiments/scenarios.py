@@ -37,6 +37,7 @@ from ..topology.tree import (
     assign_roles,
     build_tree_topology,
     split_amplifiers,
+    subtree_partition,
 )
 from ..traffic.amplifier import AmplifierApp
 from ..traffic.client import RoamingClientApp, StaticClientApp
@@ -210,7 +211,7 @@ def _build_defense(
 
 
 def run_tree_scenario(
-    params: TreeScenarioParams, telemetry=None, stream=None
+    params: TreeScenarioParams, telemetry=None, stream=None, profile=False
 ) -> TreeScenarioResult:
     """Build, run, and measure one tree-scenario simulation.
 
@@ -226,6 +227,12 @@ def run_tree_scenario(
     run-progress source.  Streaming only reads — the causal journal is
     byte-identical with or without it.  A bare ``stream`` implies a
     private :class:`~repro.obs.Telemetry` so rates can be computed.
+
+    ``profile=True`` (requires ``telemetry``) enables the engine's
+    dimensional attribution: per-event wall-time charged to callback
+    kind × module × per-subtree shard label
+    (:func:`~repro.topology.tree.subtree_partition`).  Attribution only
+    reads — journals stay byte-identical with profiling on or off.
     """
     if not 0 <= params.n_attackers <= params.n_leaves:
         raise ValueError("n_attackers out of range")
@@ -272,6 +279,10 @@ def run_tree_scenario(
     net.build_routes(targets=list(topo.server_ids) + amplifier_ids)
     if telemetry is not None:
         telemetry.bind(net.sim)
+        if profile:
+            telemetry.profiler.enable_dimensions(
+                site_of=subtree_partition(topo).get
+            )
     streamer = None
     if stream is not None:
         from ..obs import Telemetry

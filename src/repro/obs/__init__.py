@@ -17,8 +17,21 @@ telemetry as "observability off" and skip all instrumentation.
 ``repro watch`` (:mod:`repro.obs.watch`) renders as a refreshing
 terminal view.  Streaming is strictly read-only — journals are
 byte-identical with it on or off.
+
+:mod:`repro.obs.critical`, :mod:`repro.obs.shardplan`, and
+:mod:`repro.obs.traceexport` are the *replay-side* analysis layer:
+work/span/available-parallelism over the causal journal, shard-cut
+evaluation for the planned sharded parallel DES, and Chrome
+trace-event export for Perfetto — all computed from journal files
+after the run, never from the engine.
 """
 
+from .critical import (
+    CRITICAL_SCHEMA,
+    causal_chain,
+    critical_report,
+    render_critical,
+)
 from .export import (
     load_json,
     parse_exposition,
@@ -56,6 +69,14 @@ from .registry import (
     Histogram,
     MetricsRegistry,
 )
+from .shardplan import (
+    SHARDPLAN_SCHEMA,
+    ShardPlanError,
+    assign_shards,
+    render_shardplan,
+    shard_plan,
+    validate_shardplan,
+)
 from .spans import Span, SpanRecorder
 from .stream import (
     STREAM_SCHEMA,
@@ -69,6 +90,12 @@ from .stream import (
     validate_stream,
 )
 from .telemetry import Telemetry
+from .traceexport import (
+    TRACE_SCHEMA,
+    journal_to_trace,
+    validate_trace,
+    write_trace,
+)
 from .watch import (
     POOL_STATUS_FILE,
     POOL_STATUS_SCHEMA,
@@ -79,6 +106,7 @@ from .watch import (
 )
 
 __all__ = [
+    "CRITICAL_SCHEMA",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "EngineProfiler",
@@ -93,21 +121,30 @@ __all__ = [
     "POOL_STATUS_SCHEMA",
     "REGRESS_SCHEMA",
     "RegressReport",
+    "SHARDPLAN_SCHEMA",
     "STREAM_SCHEMA",
+    "ShardPlanError",
     "Span",
     "SpanRecorder",
     "StreamConfig",
     "StreamError",
+    "TRACE_SCHEMA",
     "Telemetry",
     "TelemetryStreamer",
+    "assign_shards",
     "build_tree",
+    "causal_chain",
     "compare_to_baseline",
+    "critical_report",
     "diff_journals",
+    "journal_to_trace",
     "load_baseline",
     "load_journal",
     "load_json",
     "parse_exposition",
     "read_stream",
+    "render_critical",
+    "render_shardplan",
     "registry_to_openmetrics",
     "registry_to_prometheus",
     "render_html",
@@ -117,13 +154,17 @@ __all__ = [
     "replay_summary",
     "resolve_stream_interval",
     "series_to_csv",
+    "shard_plan",
     "stream_path_for",
     "tail_record",
+    "validate_shardplan",
     "validate_stream",
+    "validate_trace",
     "watch_follow",
     "watch_once",
     "write_csv",
     "write_json",
     "write_textfile_atomic",
+    "write_trace",
     "write_trajectory_point",
 ]

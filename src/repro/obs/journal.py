@@ -33,7 +33,19 @@ from __future__ import annotations
 import html
 import json
 import os
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import (
+    IO,
+    Any,
+    Callable,
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 __all__ = [
     "JOURNAL_KINDS",
@@ -87,6 +99,61 @@ JOURNAL_KINDS: Dict[str, str] = {
 
 class JournalError(ValueError):
     """Malformed journal: bad schema, broken or acausal parent link."""
+
+
+# ----------------------------------------------------------------------
+# Transparent gzip support (.jsonl.gz)
+# ----------------------------------------------------------------------
+# Million-event journals are the target scale; ``write_jsonl`` to any
+# ``*.gz`` path compresses, and the readers sniff the gzip magic bytes
+# so a compressed journal drops into ``repro replay/report/critical-path``
+# unchanged.  Compression is *reproducible*: mtime is pinned to 0 and no
+# filename is embedded, so equal journals are equal as .gz files too —
+# the byte-identity determinism witness survives compression.
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+@contextmanager
+def _journal_writer(path: str) -> Iterator[IO[str]]:
+    """Text sink for a journal path; gzip when the path ends in .gz."""
+    if path.endswith(".gz"):
+        import gzip
+        import io
+
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(
+                filename="", mode="wb", fileobj=raw, mtime=0
+            ) as gz:
+                with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+                    yield fh
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            yield fh
+
+
+@contextmanager
+def _journal_reader(path: str) -> Iterator[IO[str]]:
+    """Text source for a journal path; sniffs gzip by magic bytes."""
+    raw = open(path, "rb")
+    try:
+        magic = raw.read(2)
+        raw.seek(0)
+    except BaseException:
+        raw.close()
+        raise
+    if magic == _GZIP_MAGIC:
+        import gzip
+        import io
+
+        with raw:
+            with gzip.GzipFile(fileobj=raw, mode="rb") as gz:
+                with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+                    yield fh
+    else:
+        raw.close()
+        with open(path, "r", encoding="utf-8") as fh:
+            yield fh
 
 
 class JournalEvent:
@@ -201,7 +268,8 @@ class Journal:
     ) -> str:
         """Write the canonical JSONL form: one schema header line, then
         one event per line, all with sorted keys — byte-identical for
-        equal journals."""
+        equal journals.  A ``*.gz`` path writes reproducible gzip (no
+        mtime/filename in the header), preserving byte-identity."""
         path = os.fspath(path)
         parent = os.path.dirname(path)
         if parent:
@@ -209,7 +277,7 @@ class Journal:
         header: Dict[str, Any] = {"schema": JOURNAL_SCHEMA, "events": len(self.events)}
         if meta:
             header.update(meta)
-        with open(path, "w", encoding="utf-8") as fh:
+        with _journal_writer(path) as fh:
             fh.write(json.dumps(header, sort_keys=True) + "\n")
             for event in self.events:
                 fh.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
@@ -218,7 +286,7 @@ class Journal:
     @classmethod
     def read_jsonl(cls, path: Union[str, os.PathLike]) -> "Journal":
         journal = cls()
-        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        with _journal_reader(os.fspath(path)) as fh:
             for lineno, line in enumerate(fh):
                 line = line.strip()
                 if not line:
@@ -238,8 +306,9 @@ class Journal:
 
 def load_journal(path: Union[str, os.PathLike]) -> Journal:
     """Load a journal from its JSONL form *or* from a ``repro.obs/1``
-    run-artifact JSON (the ``"journal"`` key ``--metrics-out`` writes)."""
-    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+    run-artifact JSON (the ``"journal"`` key ``--metrics-out`` writes).
+    Gzip-compressed files are decompressed transparently."""
+    with _journal_reader(os.fspath(path)) as fh:
         text = fh.read()
     try:
         doc = json.loads(text)
@@ -400,14 +469,24 @@ h1 { font-size: 1.1em; } h2 { font-size: 0.95em; color: #9cf; }
 .dot.attack_policy { background: #c6f; }
 .dot.reflect_hop { background: #f96; }
 .dot.reflector_traceback { background: #f33; }
+.dot.crit { background: #ff0; outline: 2px solid #ff08;
+            box-shadow: 0 0 6px #ff0; z-index: 2; }
+.label.crit { color: #ffc; font-weight: bold; }
 .t { color: #777; } .attrs { color: #998; }
 """
 
 
-def render_html(journal: Journal, title: str = "repro journal") -> str:
+def render_html(
+    journal: Journal,
+    title: str = "repro journal",
+    highlight: Collection[int] = (),
+) -> str:
     """Self-contained HTML timeline of the causal forest (no external
-    assets — the CI artifact opens anywhere)."""
+    assets — the CI artifact opens anywhere).  ``highlight`` is a set of
+    event ids to accent (``repro report --critical`` passes the
+    time-weighted critical path from :mod:`repro.obs.critical`)."""
     roots, children = build_tree(journal)
+    marked = frozenset(highlight)
     t0 = min((e.time for e in journal.events), default=0.0)
     t1 = max((e.time for e in journal.events), default=0.0)
     extent = max(t1 - t0, 1e-12)
@@ -429,12 +508,13 @@ def render_html(journal: Journal, title: str = "repro journal") -> str:
             name = html.escape(event.name)
             attrs = html.escape(_attr_text(event.attrs))
             indent = "&nbsp;" * (2 * depth)
+            crit = " crit" if event.event_id in marked else ""
             body.append(
                 '<div class="row">'
-                f'<span class="label">{indent}[{event.event_id}] {name} '
+                f'<span class="label{crit}">{indent}[{event.event_id}] {name} '
                 f'<span class="t">t={event.time:.3f}</span> '
                 f'<span class="attrs">{attrs}</span></span>'
-                f'<span class="rail"><span class="dot {name}" '
+                f'<span class="rail"><span class="dot {name}{crit}" '
                 f'style="left: {left:.2f}%"></span></span>'
                 "</div>"
             )

@@ -35,8 +35,10 @@ __all__ = ["absorb_artifact", "merge_artifacts", "strip_volatile", "VOLATILE_KEY
 
 # Wall-clock-derived fields: the only artifact entries allowed to
 # differ between a serial and an N-worker run of the same sweep.
+# "wall_s" is the per-dimension attribution wall time (the companion
+# "events" counts are deterministic and must match serial vs pool).
 VOLATILE_KEYS = frozenset(
-    {"wall_time_s", "wall_time", "events_per_sec", "wall_per_sim_sec"}
+    {"wall_time_s", "wall_time", "events_per_sec", "wall_per_sim_sec", "wall_s"}
 )
 
 _ARTIFACT_CORE = ("schema", "metrics", "spans", "journal", "engine")
@@ -107,6 +109,9 @@ def absorb_artifact(telemetry: Telemetry, artifact: Dict[str, Any]) -> Telemetry
         prof.wall_time += float(engine.get("wall_time_s", 0.0))
         prof.sim_time += float(engine.get("sim_time_s", 0.0))
         prof.note_heap(int(engine.get("heap_hwm_events", 0)))
+        dims = engine.get("dimensions")
+        if dims:
+            prof.merge_dimension_rows(dims)
 
     extras = {k: v for k, v in artifact.items() if k not in _ARTIFACT_CORE}
     _deep_setdefault(telemetry.extra, extras)

@@ -317,7 +317,10 @@ class Simulator:
         if journal is not None:
             before = self.events_processed
             journal.record("sim_run_start", pending=self._live)
-        if self.profiler is not None or self.stream is not None:
+        prof = self.profiler
+        if prof is not None and prof.dims is not None:
+            self._run_attributed(until)
+        elif prof is not None or self.stream is not None:
             self._run_profiled(until)
         else:
             self._run_plain(until)
@@ -442,6 +445,109 @@ class Simulator:
                     perf_counter() - wall_start,  # reprolint: ignore[RPL002]
                     self.now - sim_start,
                 )
+
+    def _run_attributed(self, until: Optional[float] = None) -> None:
+        """The profiled loop plus per-event dimensional attribution.
+
+        Chosen by :meth:`run` when the attached profiler has dimensions
+        enabled (:meth:`repro.obs.profile.EngineProfiler
+        .enable_dimensions`): each callback is bracketed with a
+        wall-clock timer and charged to its ``(kind, module, site)``
+        cell.  A third loop copy so neither the plain loop nor the
+        ordinary profiled/streamed loop (whose overhead is gated by
+        ``bench_stream_overhead``) pays for the per-event bookkeeping.
+        Attribution only reads engine state — it never schedules events
+        or touches the journal, so journals are byte-identical with
+        attribution on or off (gated by ``bench_profile_overhead``).
+        """
+        # reprolint: ignore[RPL002] -- self-profiling measures real wall
+        # time for repro.obs; it never feeds back into simulated state
+        from time import perf_counter
+
+        prof = self.profiler
+        assert prof is not None and prof.dims is not None
+        dims = prof.dims
+        kind_of = prof.dimension_kind
+        site_of = prof.dimension_site
+        # Per-callback memo for the fully resolved dimension key.  Bound
+        # methods are fresh objects per schedule() call, so the memo is
+        # keyed by (underlying function, bound instance) — both stable
+        # and already alive while their events are pending.
+        key_cache: dict = {}
+        stream = self.stream
+        smask = stream.check_mask if stream is not None else 0
+        sbase = self.events_processed
+        self._running = True
+        self._stopped = False
+        free = self._free
+        free_max = self._free_max
+        processed = 0
+        hwm = self._live
+        sim_start = self.now
+        limit = float("inf") if until is None else until
+        wall_start = perf_counter()  # reprolint: ignore[RPL002] -- profiler
+        try:
+            while True:
+                if self._live > hwm:
+                    hwm = self._live
+                sched = self._sched
+                entry = sched.pop()
+                if entry is None:
+                    break
+                time = entry[0]
+                if time > limit:
+                    sched.push(entry)
+                    break
+                ev = entry[2]
+                ev._queued = False
+                if ev.cancelled:
+                    if len(free) < free_max:
+                        ev.fn = _retired
+                        ev.args = ()
+                        free.append(ev)
+                    continue
+                self._live -= 1
+                self.now = time
+                fn = ev.fn
+                t0 = perf_counter()  # reprolint: ignore[RPL002] -- profiler
+                fn(*ev.args)
+                dt = perf_counter() - t0  # reprolint: ignore[RPL002]
+                processed += 1
+                ckey = (getattr(fn, "__func__", fn), getattr(fn, "__self__", None))
+                try:
+                    key = key_cache.get(ckey)
+                except TypeError:  # unhashable instance: no memo
+                    ckey = key = None
+                if key is None:
+                    kind, module = kind_of(fn)
+                    key = (kind, module, site_of(fn))
+                    if ckey is not None:
+                        key_cache[ckey] = key
+                cell = dims.get(key)
+                if cell is None:
+                    dims[key] = [1, dt]
+                else:
+                    cell[0] += 1
+                    cell[1] += dt
+                if len(free) < free_max:
+                    ev.fn = _retired
+                    ev.args = ()
+                    free.append(ev)
+                if stream is not None and (processed & smask) == 0:
+                    stream.pulse(self, sbase + processed)
+                if self._stopped:
+                    break
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+            self.events_processed += processed
+            prof.note_heap(hwm)
+            prof.record_run(
+                processed,
+                perf_counter() - wall_start,  # reprolint: ignore[RPL002]
+                self.now - sim_start,
+            )
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""

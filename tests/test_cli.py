@@ -137,3 +137,62 @@ class TestJobsAndSweepParsing:
         capsys.readouterr()
         assert main(argv) == 0
         assert "[resumed]" in capsys.readouterr().out
+
+
+class TestKindsCommand:
+    def test_kinds_lists_the_vocabulary(self, capsys):
+        from repro.obs.journal import JOURNAL_KINDS, JOURNAL_SCHEMA
+
+        assert main(["kinds"]) == 0
+        out = capsys.readouterr().out
+        assert JOURNAL_SCHEMA in out
+        for kind in JOURNAL_KINDS:
+            assert kind in out
+        assert "port_close" in out
+
+
+class TestProfileCommand:
+    def test_profile_quick_with_all_artifacts(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        journal = tmp_path / "journal.jsonl.gz"
+        trace = tmp_path / "trace.json"
+        argv = [
+            "profile", "--scale", "quick", "--defense", "honeypot",
+            "--metrics-out", str(metrics),
+            "--journal-out", str(journal),
+            "--trace", str(trace),
+            "--top", "5",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-dimension attribution" in out
+        assert "legit throughput during attack" in out
+        art = json.loads(metrics.read_text())
+        dims = art["engine"]["dimensions"]
+        assert dims and all("wall_s" in row for row in dims)
+        # The journal comes out gzip-compressed and feeds the other
+        # analysis commands transparently.
+        capsys.readouterr()
+        assert main(["critical-path", str(journal)]) == 0
+        assert "available parallelism" in capsys.readouterr().out
+        from repro.obs.traceexport import validate_trace
+
+        counts = validate_trace(json.loads(trace.read_text()))
+        assert counts["slices"] > 0
+
+    def test_profile_journal_matches_stats_run(self, tmp_path):
+        """Attribution on (profile) vs off (stats): byte-identical
+        journals for the same scenario parameters."""
+        a = tmp_path / "profiled.jsonl"
+        b = tmp_path / "plain.jsonl"
+        assert main([
+            "profile", "--scale", "quick", "--defense", "honeypot",
+            "--journal-out", str(a),
+        ]) == 0
+        assert main([
+            "stats", "--scale", "quick", "--defense", "honeypot",
+            "--journal-out", str(b),
+        ]) == 0
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,246 @@
+"""Critical-path analysis (repro.obs.critical): unit tests on known
+journals plus hypothesis properties on fuzzed causal forests.
+
+The property suite pins the work/span algebra: span never exceeds work,
+span covers the longest single edge, available parallelism is >= 1,
+and reconstructed chains follow exactly the recorded parent links.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.obs import Journal, Telemetry
+from repro.obs.critical import (
+    CRITICAL_SCHEMA,
+    causal_chain,
+    critical_report,
+    render_critical,
+)
+
+
+def make_journal():
+    """Two sessions with known work/span numbers.
+
+    Tree A: 0 --1.0--> 1 --0.5--> 2(port_close); 0 --2.0--> 3.
+    Tree B: 4 --0.25--> 5(port_close).
+    work = 1.0 + 0.5 + 2.0 + 0.25 = 3.75; span = 2.0 (chain 0 -> 3).
+    """
+    j = Journal(clock=lambda: 0.0)
+    a = j.record("session_open", at=0.0, honeypot=7)
+    hit = j.record("honeypot_hit", parent=a, at=1.0, server=7)
+    j.record("port_close", parent=hit, at=1.5, host=3)
+    j.record("session_close", parent=a, at=2.0)
+    b = j.record("session_open", at=5.0, honeypot=8)
+    j.record("port_close", parent=b, at=5.25, host=4)
+    return j
+
+
+# ----------------------------------------------------------------------
+# Fuzzed causal forests
+# ----------------------------------------------------------------------
+@st.composite
+def causal_journals(draw):
+    """A random forest: each event is a root or a child of an earlier
+    event, with an arbitrary non-negative timestamp (acausal deltas
+    included, so the clamp path is exercised)."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    j = Journal(clock=lambda: 0.0)
+    names = ("session_open", "honeypot_hit", "hop_relay", "port_close")
+    for i in range(n):
+        parent = None
+        if i > 0 and draw(st.booleans()):
+            parent = draw(st.integers(min_value=0, max_value=i - 1))
+        t = draw(
+            st.floats(
+                min_value=0.0, max_value=100.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+        j.record(draw(st.sampled_from(names)), parent=parent, at=t)
+    return j
+
+
+class TestCriticalProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(causal_journals())
+    def test_span_bounded_by_work(self, journal):
+        report = critical_report(journal)
+        assert report["span"] <= report["work"] + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(causal_journals())
+    def test_span_covers_longest_single_edge(self, journal):
+        report = critical_report(journal)
+        assert report["span"] >= report["longest_edge"] - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(causal_journals())
+    def test_parallelism_at_least_one(self, journal):
+        report = critical_report(journal)
+        assert report["parallelism"] >= 1.0 - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(causal_journals())
+    def test_chains_follow_parent_links(self, journal):
+        report = critical_report(journal)
+        for chain in report["chains"]:
+            steps = chain["steps"]
+            assert steps[-1]["id"] == chain["event"]
+            assert journal.events[steps[0]["id"]].parent_id is None
+            for prev, step in zip(steps, steps[1:]):
+                assert journal.events[step["id"]].parent_id == prev["id"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(causal_journals())
+    def test_critical_path_cost_sums_to_span(self, journal):
+        report = critical_report(journal)
+        path = report["critical_path"]
+        assert sum(s["dt"] for s in path) == pytest.approx(
+            report["span"], abs=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(causal_journals())
+    def test_per_kind_work_partitions_total_work(self, journal):
+        report = critical_report(journal)
+        total = sum(row["work"] for row in report["per_kind"].values())
+        assert total == pytest.approx(report["work"], abs=1e-9)
+        counts = sum(row["events"] for row in report["per_kind"].values())
+        assert counts == report["events"]
+
+
+# ----------------------------------------------------------------------
+# Known-journal unit tests
+# ----------------------------------------------------------------------
+class TestCriticalReport:
+    def test_work_span_parallelism_exact(self):
+        report = critical_report(make_journal())
+        assert report["schema"] == CRITICAL_SCHEMA
+        assert report["events"] == 6
+        assert report["work"] == pytest.approx(3.75)
+        assert report["span"] == pytest.approx(2.0)
+        assert report["parallelism"] == pytest.approx(3.75 / 2.0)
+        assert report["longest_edge"] == pytest.approx(2.0)
+        assert report["clamped_edges"] == 0
+        assert report["critical_end"] == 3
+        assert [s["id"] for s in report["critical_path"]] == [0, 3]
+
+    def test_capture_chains_ranked_and_explained(self):
+        report = critical_report(make_journal())
+        chains = report["chains"]
+        assert [c["event"] for c in chains] == [2, 5]  # by -cost
+        slowest = chains[0]
+        assert slowest["kind"] == "port_close"
+        assert slowest["cost"] == pytest.approx(1.5)
+        assert slowest["bounded_by"]["name"] == "honeypot_hit"
+        assert [s["id"] for s in slowest["steps"]] == [0, 1, 2]
+
+    def test_custom_targets(self):
+        report = critical_report(make_journal(), targets=("session_close",))
+        assert [c["event"] for c in report["chains"]] == [3]
+        assert report["targets"] == ["session_close"]
+
+    def test_acausal_edges_clamped_and_counted(self):
+        j = Journal(clock=lambda: 0.0)
+        root = j.record("session_open", at=5.0)
+        j.record("port_close", parent=root, at=1.0)  # time runs backward
+        report = critical_report(j)
+        assert report["clamped_edges"] == 1
+        assert report["work"] == 0.0
+        assert report["parallelism"] == 1.0  # span 0 convention
+
+    def test_causal_chain_bounds(self):
+        j = make_journal()
+        with pytest.raises(IndexError):
+            causal_chain(j, 99)
+        assert [e.event_id for e in causal_chain(j, 2)] == [0, 1, 2]
+
+    def test_render_mentions_chain_and_bound(self):
+        report = critical_report(make_journal())
+        text = render_critical(report)
+        assert "available parallelism" in text
+        assert "bounded by honeypot_hit" in text
+        assert "capture chains" in text
+
+    def test_render_top_zero_skips_chains(self):
+        text = render_critical(critical_report(make_journal()), top=0)
+        assert "capture chains" not in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCriticalCli:
+    @pytest.fixture()
+    def journal_path(self, tmp_path):
+        return make_journal().write_jsonl(tmp_path / "j.jsonl")
+
+    def test_critical_path_command(self, journal_path, capsys):
+        assert main(["critical-path", str(journal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over 6 events" in out
+        assert "port_close" in out
+
+    def test_critical_path_json_and_trace(self, journal_path, tmp_path, capsys):
+        report_path = tmp_path / "critical.json"
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "critical-path",
+                    str(journal_path),
+                    "--json",
+                    str(report_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(report_path.read_text())
+        assert doc["schema"] == CRITICAL_SCHEMA
+        trace = json.loads(trace_path.read_text())
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i"}
+
+    def test_gzip_journal_transparent(self, tmp_path, capsys):
+        path = make_journal().write_jsonl(tmp_path / "j.jsonl.gz")
+        assert main(["critical-path", str(path)]) == 0
+        assert "critical path over 6 events" in capsys.readouterr().out
+
+    def test_report_critical_highlights_html(self, journal_path, tmp_path, capsys):
+        html = tmp_path / "report.html"
+        assert (
+            main(
+                ["report", str(journal_path), "--critical", "--html", str(html)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "critical path over 6 events" in out
+        assert "crit" in html.read_text()
+
+
+class TestRunProfiledStillWorks:
+    def test_telemetry_engine_profile_runs(self):
+        from repro.experiments.scenarios import (
+            TreeScenarioParams,
+            run_tree_scenario,
+        )
+
+        params = TreeScenarioParams(
+            n_leaves=12,
+            n_attackers=3,
+            duration=8.0,
+            attack_start=2.0,
+            attack_end=6.0,
+            epoch_len=4.0,
+            seed=1,
+        )
+        tele = Telemetry()
+        run_tree_scenario(params, telemetry=tele, profile=True)
+        report = critical_report(tele.journal)
+        assert report["events"] == len(tele.journal)
+        assert report["parallelism"] >= 1.0

@@ -289,3 +289,44 @@ class TestCli:
         text = out.read_text()
         assert text.startswith("<!doctype html>")
         assert "session_open" in text
+
+
+class TestGzipJournals:
+    """Transparent .jsonl.gz support: path-extension write, magic-byte
+    read, and reproducible bytes (no mtime/filename in the header)."""
+
+    def test_roundtrip_through_gzip(self, tmp_path):
+        j = make_journal()
+        path = j.write_jsonl(tmp_path / "j.jsonl.gz")
+        with open(path, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"  # actually gzip on disk
+        loaded = load_journal(path)
+        assert diff_journals(j, loaded) is None
+
+    def test_gzip_bytes_are_path_and_time_independent(self, tmp_path):
+        j = make_journal()
+        a = j.write_jsonl(tmp_path / "first-name.jsonl.gz")
+        b = j.write_jsonl(tmp_path / "second" / "other.jsonl.gz")
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_read_sniffs_magic_without_extension(self, tmp_path):
+        import shutil
+
+        src = make_journal().write_jsonl(tmp_path / "j.jsonl.gz")
+        plainly_named = tmp_path / "renamed.jsonl"
+        shutil.copy(src, plainly_named)
+        loaded = load_journal(plainly_named)
+        assert diff_journals(make_journal(), loaded) is None
+
+    def test_replay_cli_reads_gzip(self, tmp_path, capsys):
+        path = make_journal().write_jsonl(tmp_path / "j.jsonl.gz")
+        assert main(["replay", str(path)]) == 0
+        assert "5 events" in capsys.readouterr().out
+
+    def test_replay_check_mixed_compression(self, tmp_path, capsys):
+        j = make_journal()
+        plain = j.write_jsonl(tmp_path / "a.jsonl")
+        gz = j.write_jsonl(tmp_path / "b.jsonl.gz")
+        assert main(["replay", "--check", plain, gz]) == 0
+        assert "identical" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Attribution profiler (per-dimension engine accounting): accumulator
+semantics, journal byte-identity with attribution on vs off, and
+pooled-vs-serial dimension merging."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import run_many
+from repro.experiments.scenarios import TreeScenarioParams, run_tree_scenario
+from repro.obs import EngineProfiler, Telemetry
+from repro.parallel import PoolConfig, strip_volatile
+from repro.parallel.merge import absorb_artifact
+from repro.sim.engine import Simulator
+
+TINY = TreeScenarioParams(
+    n_leaves=12,
+    n_attackers=3,
+    duration=12.0,
+    attack_start=2.0,
+    attack_end=10.0,
+    epoch_len=4.0,
+    seed=1,
+)
+
+
+class Sink:
+    def __init__(self, addr):
+        self.addr = addr
+        self.hits = 0
+
+    def on_packet(self):
+        self.hits += 1
+
+
+class TestDimensionAccumulator:
+    def test_counts_cover_every_processed_event(self):
+        prof = EngineProfiler().enable_dimensions()
+        sim = Simulator()
+        prof.attach(sim)
+        sinks = [Sink(1), Sink(2)]
+        for i in range(10):
+            sim.schedule(float(i), sinks[i % 2].on_packet)
+        sim.run()
+        rows = prof.dimension_rows()
+        assert sum(r["events"] for r in rows) == prof.events == 10
+        sites = {r["site"] for r in rows}
+        assert sites == {"n1", "n2"}
+        assert all(r["kind"] == "Sink.on_packet" for r in rows)
+
+    def test_site_of_maps_addresses_to_labels(self):
+        prof = EngineProfiler().enable_dimensions(
+            site_of={1: "left", 2: "right"}.get
+        )
+        sim = Simulator()
+        prof.attach(sim)
+        for i, sink in enumerate([Sink(1), Sink(2)]):
+            sim.schedule(float(i), sink.on_packet)
+        sim.run()
+        assert {r["site"] for r in prof.dimension_rows()} == {"left", "right"}
+
+    def test_plain_functions_and_unsited_instances(self):
+        prof = EngineProfiler().enable_dimensions()
+        sim = Simulator()
+        prof.attach(sim)
+        ticks = []
+        sim.schedule(0.0, lambda: ticks.append(1))
+        sim.run()
+        (row,) = prof.dimension_rows()
+        assert row["site"] == "-"
+        assert ticks == [1]
+
+    def test_disabled_profiler_has_no_dimensions(self):
+        prof = EngineProfiler()
+        sim = Simulator()
+        prof.attach(sim)
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert prof.dims is None
+        assert "dimensions" not in prof.as_dict()
+
+    def test_merge_accumulates_counts_and_wall(self):
+        prof = EngineProfiler()  # merge enables dims implicitly
+        rows = [
+            {"kind": "k", "module": "m", "site": "s", "events": 2, "wall_s": 0.5},
+            {"kind": "k", "module": "m", "site": "s", "events": 3, "wall_s": 0.25},
+        ]
+        prof.merge_dimension_rows(rows)
+        (row,) = prof.dimension_rows()
+        assert row["events"] == 5
+        assert row["wall_s"] == pytest.approx(0.75)
+        assert "per-dimension attribution" in prof.render_dimensions()
+
+
+class TestJournalByteIdentity:
+    def _journal_bytes(self, tmp_path, tag, profile):
+        tele = Telemetry()
+        run_tree_scenario(TINY, telemetry=tele, profile=profile)
+        out = tele.journal.write_jsonl(tmp_path / f"{tag}.jsonl")
+        return open(out, "rb").read(), tele
+
+    def test_attribution_never_touches_the_journal(self, tmp_path):
+        off, _ = self._journal_bytes(tmp_path, "off", False)
+        on, tele = self._journal_bytes(tmp_path, "on", True)
+        assert off == on
+        rows = tele.profiler.dimension_rows()
+        assert rows, "profiled run produced no dimensions"
+        assert sum(r["events"] for r in rows) == tele.profiler.events
+        # Site labels come from the subtree partition of the topology.
+        assert any(r["site"].startswith("sub") for r in rows)
+
+
+class TestPooledDimensionMerge:
+    POINTS = {
+        "a": TINY,
+        "b": replace(TINY, seed=2),
+    }
+
+    def _dims(self, telemetry):
+        return strip_volatile(telemetry.profiler.dimension_rows())
+
+    def test_pool_merges_dimension_tables_like_serial(self):
+        serial = Telemetry()
+        run_many(dict(self.POINTS), telemetry=serial, profile=True)
+        pooled = Telemetry()
+        run_many(
+            dict(self.POINTS),
+            pool_config=PoolConfig(jobs=2, inline=False),
+            telemetry=pooled,
+            profile=True,
+        )
+        assert self._dims(serial) == self._dims(pooled)
+        assert serial.profiler.dims, "serial sweep produced no dimensions"
+
+    def test_absorb_artifact_merges_dimensions(self):
+        src = Telemetry()
+        run_tree_scenario(TINY, telemetry=src, profile=True)
+        artifact = src.artifact()
+        assert artifact["engine"]["dimensions"]
+        dst = Telemetry()
+        dst.profiler.enable_dimensions()
+        absorb_artifact(dst, artifact)
+        assert self._dims(dst) == self._dims(src)
