@@ -136,6 +136,14 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     from ..obs import Telemetry  # local import keeps workers lean
 
     params: TreeScenarioParams = payload["params"]
+    requested = params
+    if params.shards > 1 and params.shard_exec == "processes":
+        # A pool worker is already one process per task; forking shard
+        # workers underneath it would oversubscribe the machine.  Inline
+        # sharding is journal-identical, so demoting is result-neutral —
+        # the result keeps the *requested* params so serial and pooled
+        # sweeps still ship byte-identical artifacts.
+        params = replace(params, shard_exec="inline")
     telemetry = Telemetry() if payload.get("telemetry") else None
     if telemetry is not None:
         # at=0.0: the scenario's simulator clock starts there; a serial
@@ -155,6 +163,8 @@ def run_scenario_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     )
     if telemetry is not None:
         telemetry.journal.record("pool_task_finish", task=payload.get("task"))
+    if params is not requested:
+        result.params = requested
     return {
         "result": result_to_dict(result),
         "telemetry": telemetry.artifact() if telemetry is not None else None,

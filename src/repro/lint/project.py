@@ -190,12 +190,19 @@ def _annotation_heads(node: Optional[ast.AST]) -> FrozenSet[str]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class StreamUse:
-    """One RNG stream-name site: ``.stream(x)`` / ``derive_seed(_, x)``."""
+    """One RNG stream-name site: ``.stream(x)`` / ``derive_seed(_, x)``.
+
+    ``prefix`` is the static literal head of an f-string name
+    (``f"client.{leaf}"`` -> ``"client."``) — the *stream family*
+    idiom per-host RNG disciplines use.  It stays None for literal
+    names and for f-strings with no literal head.
+    """
 
     api: str  # "stream" | "spawn" | "derive_seed"
     name: Optional[str]  # literal value, None when dynamic
     line: int
     col: int
+    prefix: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -663,12 +670,18 @@ class _FactsVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _stream_use(self, api: str, arg: Optional[ast.expr], node: ast.Call) -> None:
+        name: Optional[str] = None
+        prefix: Optional[str] = None
         if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-            name: Optional[str] = arg.value
-        else:
-            name = None
+            name = arg.value
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            # f-string: capture the static literal head, the auditable
+            # part of a per-host "stream family" name.
+            head = arg.values[0]
+            if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                prefix = head.value
         self.facts.streams.append(
-            StreamUse(api, name, node.lineno, node.col_offset + 1)
+            StreamUse(api, name, node.lineno, node.col_offset + 1, prefix=prefix)
         )
 
     def _collect_callback_refs(self, arg: ast.expr, fn: FunctionFacts) -> None:

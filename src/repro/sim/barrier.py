@@ -1,0 +1,242 @@
+"""Clock-sync barrier algebra for conservative sharded simulation.
+
+The sharded engine (:mod:`repro.sim.shard`) partitions one scenario's
+topology into per-AS subtree shards, each running its own event loop.
+Correctness of that mode rests on one classic invariant — the
+Chandy–Misra/Bryant conservative condition: a shard may only dispatch
+an event at time ``t`` once every peer shard has *promised* (via its
+clock or a null message) that nothing can arrive across a boundary
+channel before ``t``.  With ``lookahead`` equal to the minimum
+cross-shard link latency, a shard whose clock promise is ``c`` cannot
+deliver anything before ``c + lookahead``, so the safe-advance window
+of shard ``i`` is::
+
+    safe_until(i) = min over peers j of (promise(j) + lookahead)
+
+:class:`ClockBarrier` is that algebra, kept pure (no scheduler, no
+processes) so both execution modes — the in-process windowed merge loop
+and the forked worker mode — validate against the *same* object, and
+so the hypothesis property suite can drive it directly with fuzzed
+promise/dispatch sequences.
+
+Positive lookahead is also the liveness argument: the shard holding the
+globally earliest event always satisfies the condition (every peer's
+promise is at least that event's time), so some shard can always
+advance and the barrier cannot deadlock.  With at least one zero-latency
+boundary channel, ``lookahead`` degrades to 0 and same-instant
+cross-shard events would stall; the shard planner therefore refuses a
+cut whose lookahead is not strictly positive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["BarrierError", "ClockBarrier"]
+
+_INF = float("inf")
+
+
+class BarrierError(RuntimeError):
+    """A conservative invariant was violated (strict mode only)."""
+
+
+class ClockBarrier:
+    """Tracks per-shard clock promises and the safe-advance windows.
+
+    Parameters
+    ----------
+    shards:
+        Shard labels; index order is the shard id used everywhere else.
+        Needs at least two shards — a barrier with zero peers is
+        meaningless, and callers (``make_sharded_simulator``) fall back
+        to the plain serial loop instead of constructing one.
+    lookahead:
+        The minimum cross-shard channel latency (seconds).  Must be
+        strictly positive: it is both the safety margin that makes the
+        window non-trivial and the liveness argument.
+    strict:
+        When True (default) an invariant violation raises
+        :class:`BarrierError`; when False it is only counted in
+        :attr:`violations` (used by the inline engine, whose global
+        dispatch order makes violations impossible — the counter is the
+        regression witness).
+    """
+
+    __slots__ = (
+        "labels",
+        "lookahead",
+        "strict",
+        "_promises",
+        "_last_dispatch",
+        "dispatches",
+        "cross_schedules",
+        "acausal_cross",
+        "violations",
+        "min_window",
+    )
+
+    def __init__(
+        self, shards: Sequence[str], lookahead: float, *, strict: bool = True
+    ) -> None:
+        labels = [str(s) for s in shards]
+        if len(labels) < 2:
+            raise BarrierError(
+                f"a clock barrier needs at least 2 shards (got {len(labels)}); "
+                "degenerate partitions must fall back to the serial loop"
+            )
+        if len(set(labels)) != len(labels):
+            raise BarrierError(f"duplicate shard labels: {labels}")
+        if not lookahead > 0.0:
+            raise BarrierError(
+                f"lookahead must be strictly positive (got {lookahead}); "
+                "a zero-latency boundary channel admits no safe window"
+            )
+        self.labels: List[str] = labels
+        self.lookahead = float(lookahead)
+        self.strict = strict
+        # promise[i]: shard i cannot cause any local effect before this
+        # time, hence nothing can cross a boundary out of i before
+        # promise[i] + lookahead.
+        self._promises: List[float] = [0.0] * len(labels)
+        # Per-shard last dispatched timestamp (timestamp-order witness).
+        self._last_dispatch: List[float] = [-_INF] * len(labels)
+        self.dispatches = 0
+        self.cross_schedules = 0
+        self.acausal_cross = 0
+        self.violations = 0
+        self.min_window = _INF
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.labels)
+
+    def promise(self, shard: int, t: float) -> None:
+        """Advance ``shard``'s clock promise to ``t`` (monotone).
+
+        A promise may never regress: once a shard has announced it is
+        past ``t``, peers may have advanced on the strength of that
+        announcement.  Regressions are the bug class this barrier
+        exists to catch, so they count as violations even in
+        non-strict mode.
+        """
+        current = self._promises[shard]
+        if t < current:
+            self._violate(
+                f"shard {self.labels[shard]!r} promise regressed "
+                f"{current:.9f} -> {t:.9f}"
+            )
+            return
+        self._promises[shard] = t
+
+    def advance_clock(self, t: float) -> None:
+        """Promise every shard's clock forward to global time ``t``.
+
+        The inline windowed engine dispatches in exact global
+        ``(time, seq)`` order, so at the moment it dispatches an event at
+        ``t`` *every* shard's event loop is provably past ``t`` — the
+        global clock is a valid conservative promise for all of them.
+        Regressions are ignored (a shard that already promised further,
+        e.g. via its own dispatches, keeps the stronger promise).
+        """
+        promises = self._promises
+        for i, p in enumerate(promises):
+            if t > p:
+                promises[i] = t
+
+    def safe_until(self, shard: int) -> float:
+        """The conservative safe-advance bound for ``shard``.
+
+        ``min`` over every *peer* of ``promise(peer) + lookahead``; the
+        shard's own promise never constrains itself.
+        """
+        promises = self._promises
+        bound = _INF
+        for j, p in enumerate(promises):
+            if j == shard:
+                continue
+            horizon = p + self.lookahead
+            if horizon < bound:
+                bound = horizon
+        return bound
+
+    def check_dispatch(self, shard: int, t: float) -> bool:
+        """Validate (and account) one event dispatch at time ``t``.
+
+        Enforces the two conservative invariants the property suite
+        fuzzes: per-shard timestamp order (``t`` never precedes the
+        shard's previous dispatch) and the safe window (``t`` never
+        exceeds ``min(peer promises) + lookahead``).  Also folds the
+        observed slack into :attr:`min_window`.  Returns True when the
+        dispatch is admissible.
+        """
+        ok = True
+        if t < self._last_dispatch[shard]:
+            self._violate(
+                f"shard {self.labels[shard]!r} dispatched out of timestamp "
+                f"order: {t:.9f} after {self._last_dispatch[shard]:.9f}"
+            )
+            ok = False
+        bound = self.safe_until(shard)
+        if t > bound:
+            self._violate(
+                f"shard {self.labels[shard]!r} dispatched t={t:.9f} beyond "
+                f"its safe window {bound:.9f} "
+                f"(min peer promise + lookahead {self.lookahead:.9f})"
+            )
+            ok = False
+        if ok:
+            slack = bound - t
+            if slack < self.min_window:
+                self.min_window = slack
+            self._last_dispatch[shard] = t
+            if t > self._promises[shard]:
+                self._promises[shard] = t
+            self.dispatches += 1
+        return ok
+
+    def note_cross(self, src: int, dst: int, t: float, now: float) -> bool:
+        """Account a cross-shard schedule (src's event scheduling into dst).
+
+        Returns True when the schedule honours src's standing promise —
+        ``t >= now + lookahead`` — i.e. a real message-passing run could
+        have carried it on a boundary channel.  Earlier schedules are
+        *acausal*: they would arrive inside a window the receiver may
+        already have executed.  The inline engine (which dispatches in
+        exact global order) counts rather than fails them, and the
+        golden suites assert the count is zero for every partition the
+        planner emits.
+        """
+        self.cross_schedules += 1
+        # Tolerance: boundary timestamps are sums of float link delays;
+        # one ulp-scale epsilon keeps exact-lookahead hops causal.
+        if t + 1e-12 < now + self.lookahead:
+            self.acausal_cross += 1
+            return False
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready barrier accounting (folded into run artifacts)."""
+        return {
+            "shards": list(self.labels),
+            "lookahead": self.lookahead,
+            "dispatches": self.dispatches,
+            "cross_schedules": self.cross_schedules,
+            "acausal_cross": self.acausal_cross,
+            "violations": self.violations,
+            "min_window": None if self.min_window is _INF else self.min_window,
+        }
+
+    # ------------------------------------------------------------------
+    def _violate(self, message: str) -> None:
+        self.violations += 1
+        if self.strict:
+            raise BarrierError(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClockBarrier(shards={len(self.labels)}, "
+            f"lookahead={self.lookahead:.6f}, dispatches={self.dispatches}, "
+            f"violations={self.violations})"
+        )

@@ -281,6 +281,15 @@ def subtree_partition(topo: TreeTopology) -> Dict[int, str]:
     for child in sorted(topo.graph.neighbors(topo.root_id)):
         if child == topo.server_router_id:
             continue
+        if topo.graph.nodes[child].get("role") == "host":
+            # Degenerate subtree: a depth-1 leaf hangs directly off the
+            # root.  A one-host "shard" buys no parallelism and its
+            # access link terminates inside the core, so fold it into
+            # the core shard; a tree made only of such leaves then
+            # partitions into a single shard and sharded mode falls
+            # back to the plain serial loop.
+            part[child] = "core"
+            continue
         label = f"sub{child}"
         stack = [child]
         while stack:

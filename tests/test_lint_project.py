@@ -124,6 +124,86 @@ class TestProjectSuppression:
         assert [d.code for d in diags] == ["RPL202"]
 
 
+class TestStreamFamilies:
+    """The *stream family* idiom the per-host RNG discipline (sharded
+    execution) relies on: ``f"client.{leaf}"`` — an f-string with a
+    dotted literal prefix — is statically auditable by its prefix, so
+    RPL202 accepts it and RPL201 claims the prefix like a literal name.
+    """
+
+    def test_dotted_prefix_family_passes_rpl202(self):
+        sources = {
+            "m.py": (
+                "def f(reg, leaf):\n"
+                '    return reg.stream(f"client.{leaf}")\n'
+            ),
+        }
+        assert project_pass_diagnostics(Project.from_sources(sources)) == []
+
+    def test_bare_fstring_head_still_fires(self):
+        sources = {
+            "m.py": (
+                "def f(reg, leaf):\n"
+                '    return reg.stream(f"{leaf}.client")\n'
+            ),
+        }
+        diags = project_pass_diagnostics(Project.from_sources(sources))
+        assert [d.code for d in diags] == ["RPL202"]
+
+    def test_undotted_prefix_still_fires(self):
+        sources = {
+            "m.py": (
+                "def f(reg, i):\n"
+                '    return reg.stream(f"run-{i}")\n'
+            ),
+        }
+        diags = project_pass_diagnostics(Project.from_sources(sources))
+        assert [d.code for d in diags] == ["RPL202"]
+
+    def test_family_collision_across_modules_fires_rpl201(self):
+        sources = {
+            "a.py": (
+                "def f(reg, leaf):\n"
+                '    return reg.stream(f"client.{leaf}")\n'
+            ),
+            "b.py": (
+                "def g(reg, leaf):\n"
+                '    return reg.stream(f"client.{leaf}")\n'
+            ),
+        }
+        diags = project_pass_diagnostics(Project.from_sources(sources))
+        assert [d.code for d in diags] == ["RPL201", "RPL201"]
+
+    def test_literal_name_under_foreign_family_fires_rpl201(self):
+        sources = {
+            "a.py": (
+                "def f(reg, leaf):\n"
+                '    return reg.stream(f"client.{leaf}")\n'
+            ),
+            "b.py": (
+                "def g(reg):\n"
+                '    return reg.stream("client.7")\n'
+            ),
+        }
+        diags = project_pass_diagnostics(Project.from_sources(sources))
+        assert sorted(d.code for d in diags) == ["RPL201", "RPL201"]
+
+    def test_shard_engine_modules_are_shard_safety_clean(self):
+        """The barrier/boundary objects introduced by sharded execution
+        communicate through the scheduler only — the shard-safety
+        passes (RPL101/102/103) recognize them as clean, keeping the
+        checked-in baseline empty."""
+        diags = lint_project(str(REPO_ROOT / "src"))
+        shard_files = ("sim/shard.py", "sim/barrier.py")
+        offending = [
+            d
+            for d in diags
+            if d.code.startswith("RPL10")
+            and d.path.replace("\\", "/").endswith(shard_files)
+        ]
+        assert offending == [], [d.render() for d in offending]
+
+
 class TestRepoIsClean:
     def test_whole_program_passes_clean_on_src(self):
         diags = lint_project(str(REPO_ROOT / "src"))
